@@ -1,0 +1,422 @@
+package mps
+
+// This file is the benchmark harness required by DESIGN.md §5: one bench
+// per paper table/figure plus the §6 ablations. Benchmarks use reduced
+// annealing budgets (experiments.EffortQuick equivalents) so `go test
+// -bench=.` completes in minutes; cmd/mpsbench runs the same harnesses at
+// higher effort for the EXPERIMENTS.md numbers.
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mps/internal/bdio"
+	"mps/internal/circuits"
+	"mps/internal/core"
+	"mps/internal/cost"
+	"mps/internal/experiments"
+	"mps/internal/explorer"
+	"mps/internal/optplace"
+	"mps/internal/placement"
+	"mps/internal/route"
+	"mps/internal/template"
+)
+
+// --- Table 1: benchmark construction -----------------------------------
+
+// BenchmarkTable1Construction measures building all nine benchmark
+// netlists — the workload behind Table 1.
+func BenchmarkTable1Construction(b *testing.B) {
+	names := circuits.Names()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, n := range names {
+			if _, err := circuits.ByName(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Table 2: generation and instantiation -----------------------------
+
+// benchGenerate runs one structure generation at bench budget.
+func benchGenerate(b *testing.B, name string) {
+	b.Helper()
+	c := circuits.MustByName(name)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, _, err := explorer.Generate(c, explorer.Config{
+			Seed:          int64(i + 1),
+			MaxIterations: 30,
+			BDIO:          bdio.Config{Steps: 60},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.NumPlacements() == 0 {
+			b.Fatal("empty structure")
+		}
+	}
+}
+
+// BenchmarkTable2Generation regenerates the Table 2 generation-time column
+// (one sub-benchmark per circuit, small/medium/large spread).
+func BenchmarkTable2Generation(b *testing.B) {
+	for _, name := range []string{"circ01", "TwoStageOpamp", "Mixer", "tso-cascode", "benchmark24"} {
+		b.Run(name, func(b *testing.B) { benchGenerate(b, name) })
+	}
+}
+
+// sharedStructures caches one generated structure per circuit for the
+// instantiation benchmarks, so b.N loops time only the query path.
+var (
+	sharedMu         sync.Mutex
+	sharedStructures = map[string]*core.Structure{}
+)
+
+func structureFor(b *testing.B, name string) *core.Structure {
+	b.Helper()
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if s, ok := sharedStructures[name]; ok {
+		return s
+	}
+	s, _, err := experiments.GenerateForBenchmark(name, experiments.EffortQuick, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sharedStructures[name] = s
+	return s
+}
+
+// BenchmarkTable2Instantiation regenerates the Table 2 instantiation-time
+// column: one random query per iteration against a pre-generated structure.
+func BenchmarkTable2Instantiation(b *testing.B) {
+	for _, name := range circuits.Names() {
+		b.Run(name, func(b *testing.B) {
+			s := structureFor(b, name)
+			c := s.Circuit()
+			rng := rand.New(rand.NewSource(2))
+			ws := make([]int, c.N())
+			hs := make([]int, c.N())
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j, blk := range c.Blocks {
+					ws[j] = blk.WMin + rng.Intn(blk.WMax-blk.WMin+1)
+					hs[j] = blk.HMin + rng.Intn(blk.HMax-blk.HMin+1)
+				}
+				if _, err := s.Instantiate(ws, hs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 5: floorplan instantiations --------------------------------
+
+// BenchmarkFigure5Instantiation measures producing the two structure
+// instantiations and one template instantiation of Figure 5.
+func BenchmarkFigure5Instantiation(b *testing.B) {
+	s := structureFor(b, "TwoStageOpamp")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure5(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6: lowest-cost selection sweep -----------------------------
+
+// BenchmarkFigure6Sweep measures the 40-point dimension sweep with
+// per-point structure selection and fixed-placement cost series.
+func BenchmarkFigure6Sweep(b *testing.B) {
+	s := structureFor(b, "TwoStageOpamp")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure6(s, cost.DefaultWeights, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fig.SelectionGain() > 1.05 {
+			b.Fatalf("selection gain %.3f — structure not selecting lowest cost", fig.SelectionGain())
+		}
+	}
+}
+
+// --- Figure 7: tso-cascode instantiation -------------------------------
+
+// BenchmarkFigure7Instantiation measures instantiating and rendering the
+// 21-module tso-cascode floorplan.
+func BenchmarkFigure7Instantiation(b *testing.B) {
+	s := structureFor(b, "tso-cascode")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure7(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Baseline context: what Table 2's speed means ----------------------
+
+// BenchmarkBaselineTemplatePlace times the template-based baseline placer
+// on the same queries as BenchmarkTable2Instantiation/TwoStageOpamp.
+func BenchmarkBaselineTemplatePlace(b *testing.B) {
+	c := circuits.MustByName("TwoStageOpamp")
+	tpl := template.Balanced(c)
+	rng := rand.New(rand.NewSource(3))
+	ws := make([]int, c.N())
+	hs := make([]int, c.N())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j, blk := range c.Blocks {
+			ws[j] = blk.WMin + rng.Intn(blk.WMax-blk.WMin+1)
+			hs[j] = blk.HMin + rng.Intn(blk.HMax-blk.HMin+1)
+		}
+		if _, _, err := tpl.Place(ws, hs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineAnnealingPlace times the optimization-based baseline —
+// the per-query cost a synthesis loop pays without a structure.
+func BenchmarkBaselineAnnealingPlace(b *testing.B) {
+	c := circuits.MustByName("TwoStageOpamp")
+	fp := placement.DefaultFloorplan(c)
+	ws := make([]int, c.N())
+	hs := make([]int, c.N())
+	for j, blk := range c.Blocks {
+		ws[j] = (blk.WMin + blk.WMax) / 2
+		hs[j] = (blk.HMin + blk.HMax) / 2
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := optplace.Place(c, fp, ws, hs, optplace.Config{Steps: 2000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) -------------------------------------------
+
+// BenchmarkAblationResolveRow compares the paper's smallest-overlap shrink
+// row against first-overlap, reporting retained coverage as the quality
+// signal alongside time.
+func BenchmarkAblationResolveRow(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		strategy core.ResolveRowStrategy
+	}{
+		{"smallest-overlap", core.SmallestOverlapRow},
+		{"first-overlap", core.FirstOverlapRow},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c := circuits.MustByName("circ02")
+			var coverage float64
+			for i := 0; i < b.N; i++ {
+				s := core.NewStructure(c, placement.DefaultFloorplan(c))
+				s.SetResolveStrategy(tc.strategy)
+				rng := rand.New(rand.NewSource(7))
+				if err := fillRandom(s, c, rng, 60); err != nil {
+					b.Fatal(err)
+				}
+				coverage = s.Coverage()
+			}
+			b.ReportMetric(coverage*1e6, "coverage-ppm")
+		})
+	}
+}
+
+// fillRandom inserts random expanded placements (no BDIO) — the resolve
+// workload isolated from annealing noise.
+func fillRandom(s *core.Structure, c *Circuit, rng *rand.Rand, n int) error {
+	for k := 0; k < n; k++ {
+		p, err := placement.RandomLegal(c, s.Floorplan(), rng)
+		if err != nil {
+			return err
+		}
+		p.Expand(c, s.Floorplan(), 1)
+		p.AvgCost = 1 + rng.Float64()*9
+		p.BestCost = p.AvgCost / 2
+		p.BestW = append([]int(nil), p.WHi...)
+		p.BestH = append([]int(nil), p.HHi...)
+		if _, err := s.Insert(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkAblationEq6 compares generation with and without the Optimize
+// Ranges shrink (eq. 6), reporting final structure size and coverage.
+func BenchmarkAblationEq6(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"with-eq6", false},
+		{"without-eq6", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c := circuits.MustByName("circ01")
+			var placements int
+			var coverage float64
+			for i := 0; i < b.N; i++ {
+				s, _, err := explorer.Generate(c, explorer.Config{
+					Seed:          9,
+					MaxIterations: 30,
+					BDIO:          bdio.Config{Steps: 60, DisableRangeShrink: tc.disable},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				placements = s.NumPlacements()
+				coverage = s.Coverage()
+			}
+			b.ReportMetric(float64(placements), "placements")
+			b.ReportMetric(coverage*1e6, "coverage-ppm")
+		})
+	}
+}
+
+// BenchmarkAblationQueryPath compares the row-based interval query against
+// the linear Covers scan on the same structure.
+func BenchmarkAblationQueryPath(b *testing.B) {
+	s := structureFor(b, "tso-cascode")
+	c := s.Circuit()
+	rng := rand.New(rand.NewSource(11))
+	ws := make([]int, c.N())
+	hs := make([]int, c.N())
+	fill := func() {
+		for j, blk := range c.Blocks {
+			ws[j] = blk.WMin + rng.Intn(blk.WMax-blk.WMin+1)
+			hs[j] = blk.HMin + rng.Intn(blk.HMax-blk.HMin+1)
+		}
+	}
+	b.Run("rows", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fill()
+			s.Lookup(ws, hs)
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fill()
+			s.LookupLinear(ws, hs)
+		}
+	})
+}
+
+// BenchmarkAblationParallelChains compares one explorer chain against four
+// feeding the same structure.
+func BenchmarkAblationParallelChains(b *testing.B) {
+	for _, chains := range []int{1, 4} {
+		b.Run(map[int]string{1: "chains-1", 4: "chains-4"}[chains], func(b *testing.B) {
+			c := circuits.MustByName("Mixer")
+			for i := 0; i < b.N; i++ {
+				_, _, err := explorer.Generate(c, explorer.Config{
+					Seed:          13,
+					MaxIterations: 40,
+					Chains:        chains,
+					BDIO:          bdio.Config{Steps: 60},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompact measures fragment re-merging on a freshly generated
+// structure (the post-pass every Generate runs).
+func BenchmarkCompact(b *testing.B) {
+	c := circuits.MustByName("Mixer")
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, _, err := explorer.Generate(c, explorer.Config{
+			Seed:          int64(i),
+			MaxIterations: 40,
+			BDIO:          bdio.Config{Steps: 60},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		s.Compact()
+	}
+}
+
+// BenchmarkRouteEstimate measures the routing estimator + RC extraction on
+// an instantiated tso-cascode layout — the per-iteration extraction cost of
+// a routing-aware synthesis loop.
+func BenchmarkRouteEstimate(b *testing.B) {
+	s := structureFor(b, "tso-cascode")
+	c := s.Circuit()
+	ws := make([]int, c.N())
+	hs := make([]int, c.N())
+	for j, blk := range c.Blocks {
+		ws[j] = (blk.WMin + blk.WMax) / 2
+		hs[j] = (blk.HMin + blk.HMax) / 2
+	}
+	res, err := s.Instantiate(ws, hs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := &cost.Layout{Circuit: c, X: res.X, Y: res.Y, W: ws, H: hs, Floorplan: s.Floorplan()}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est := route.EstimateNets(l)
+		route.ExtractRC(l, est)
+	}
+}
+
+// BenchmarkScalingGeneration regenerates the block-count scaling study
+// (extension experiment) at bench budgets.
+func BenchmarkScalingGeneration(b *testing.B) {
+	for _, c := range circuits.ScalingFamily([]int{5, 15, 25}) {
+		b.Run(c.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := explorer.Generate(c, explorer.Config{
+					Seed:          1,
+					MaxIterations: 30,
+					BDIO:          bdio.Config{Steps: 60},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSaveLoad measures structure persistence round trips.
+func BenchmarkSaveLoad(b *testing.B) {
+	s := structureFor(b, "TwoStageOpamp")
+	c := s.Circuit()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pr, pw := io.Pipe()
+		done := make(chan error, 1)
+		go func() {
+			done <- s.Save(pw)
+			pw.Close()
+		}()
+		if _, err := core.Load(pr, c); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+}

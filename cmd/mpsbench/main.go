@@ -1,0 +1,156 @@
+// Command mpsbench regenerates every table and figure of the paper's
+// evaluation section and writes the results to stdout plus, for the
+// figures, to files in an output directory.
+//
+// Usage:
+//
+//	mpsbench -all [-effort quick|standard|full] [-seed 1] [-out results/]
+//	mpsbench -table1 -table2
+//	mpsbench -fig5 -fig6 -fig7 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mps/internal/cost"
+	"mps/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mpsbench: ")
+
+	table1 := flag.Bool("table1", false, "reproduce Table 1 (benchmark suite)")
+	table2 := flag.Bool("table2", false, "reproduce Table 2 (generation/instantiation)")
+	fig5 := flag.Bool("fig5", false, "reproduce Figure 5 (two-stage opamp instantiations)")
+	fig6 := flag.Bool("fig6", false, "reproduce Figure 6 (lowest-cost selection sweep)")
+	fig7 := flag.Bool("fig7", false, "reproduce Figure 7 (tso-cascode instantiation)")
+	scaling := flag.Bool("scaling", false, "run the block-count scaling study (extension)")
+	synthCmp := flag.Bool("synth", false, "run the Fig. 1b synthesis-loop provider comparison (extension)")
+	all := flag.Bool("all", false, "reproduce everything")
+	effortFlag := flag.String("effort", "standard", "generation budget: quick, standard, full")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "directory for figure files (optional)")
+	flag.Parse()
+
+	if *all {
+		*table1, *table2, *fig5, *fig6, *fig7 = true, true, true, true, true
+		*scaling, *synthCmp = true, true
+	}
+	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var effort experiments.Effort
+	switch strings.ToLower(*effortFlag) {
+	case "quick":
+		effort = experiments.EffortQuick
+	case "standard":
+		effort = experiments.EffortStandard
+	case "full":
+		effort = experiments.EffortFull
+	default:
+		log.Fatalf("unknown effort %q", *effortFlag)
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *table1 {
+		if err := experiments.Table1(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *table2 {
+		if _, err := experiments.RunTable2(os.Stdout, effort, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *fig5 {
+		s, _, err := experiments.GenerateForBenchmark("TwoStageOpamp", effort, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig, err := experiments.RunFigure5(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Figure 5a: two-stage opamp at 30% of dimension ranges (from structure)")
+		fmt.Print(fig.ASCIIa)
+		fmt.Println("Figure 5b: two-stage opamp at 85% of dimension ranges (from structure)")
+		fmt.Print(fig.ASCIIb)
+		fmt.Println("Figure 5c: fixed template at 30% of dimension ranges (baseline)")
+		fmt.Print(fig.ASCIIc)
+		fmt.Printf("distinct stored placements for (a) vs (b): %v\n\n", fig.Distinct)
+		writeFile(*out, "fig5a.svg", fig.SVGa)
+		writeFile(*out, "fig5b.svg", fig.SVGb)
+		writeFile(*out, "fig5c.svg", fig.SVGc)
+	}
+	if *fig6 {
+		s, _, err := experiments.GenerateForBenchmark("TwoStageOpamp", effort, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig, err := experiments.RunFigure6(s, cost.DefaultWeights, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderFigure6(os.Stdout, fig)
+		fmt.Println()
+		if err := experiments.PlotFigure6(os.Stdout, fig); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *fig7 {
+		s, _, err := experiments.GenerateForBenchmark("tso-cascode", effort, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig, err := experiments.RunFigure7(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Figure 7: tso-cascode instantiation (21 modules)")
+		fmt.Print(fig.ASCII)
+		fmt.Println()
+		writeFile(*out, "fig7.svg", fig.SVG)
+	}
+	if *scaling {
+		if _, err := experiments.RunScaling(os.Stdout, []int{4, 8, 12, 16, 20, 25}, effort, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *synthCmp {
+		s, _, err := experiments.GenerateForBenchmark("Mixer", effort, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := experiments.RunSynthComparison(os.Stdout, s, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+func writeFile(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,66 @@
+// Command mpsviz renders one placement instantiation of a saved structure
+// as ASCII (stdout) or SVG (file) — the quick way to eyeball what a
+// structure returns for given sizes.
+//
+// Usage:
+//
+//	mpsviz -circuit tso-cascode -in tso.mps -frac 0.5
+//	mpsviz -circuit Mixer -in mixer.mps -frac 0.8 -svg mixer.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mps"
+	"mps/internal/cost"
+	"mps/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mpsviz: ")
+
+	circuitName := flag.String("circuit", "", "benchmark circuit name")
+	in := flag.String("in", "", "structure file written by mpsgen")
+	frac := flag.Float64("frac", 0.5, "dimension fraction of each block's range [0,1]")
+	svgPath := flag.String("svg", "", "also write an SVG file")
+	width := flag.Int("width", 72, "ASCII grid width")
+	flag.Parse()
+
+	if *circuitName == "" || *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	circuit, err := mps.Benchmark(*circuitName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := mps.LoadFile(*in, circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ws := make([]int, circuit.N())
+	hs := make([]int, circuit.N())
+	for i, b := range circuit.Blocks {
+		ws[i] = b.WMin + int(*frac*float64(b.WMax-b.WMin))
+		hs[i] = b.HMin + int(*frac*float64(b.HMax-b.HMin))
+	}
+	res, err := s.Instantiate(ws, hs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := &cost.Layout{Circuit: circuit, X: res.X, Y: res.Y, W: ws, H: hs, Floorplan: s.Floorplan()}
+	fmt.Print(render.ASCII(l, render.ASCIIOptions{Width: *width, ShowLegend: true}))
+	fmt.Printf("placement %d (backup=%v)  wire=%d  area=%d\n",
+		res.PlacementID, res.FromBackup, cost.WireLength(l), cost.UsedArea(l))
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(render.SVG(l)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+}

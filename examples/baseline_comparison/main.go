@@ -1,0 +1,137 @@
+// Baseline comparison: quality and latency of the three placement
+// approaches across a sweep of circuit sizings — the trade-off that
+// motivates multi-placement structures (paper §1).
+//
+// For each of 25 random dimension vectors on the Mixer benchmark, the
+// circuit is placed by:
+//
+//   - the multi-placement structure (microseconds, near-optimized)
+//   - a fixed slicing-tree template (microseconds, one topology)
+//   - per-query simulated annealing (milliseconds+, optimized)
+//
+// and the wire+area cost of each result is reported.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"mps"
+	"mps/internal/cost"
+	"mps/internal/optplace"
+	"mps/internal/placement"
+	"mps/internal/stats"
+	"mps/internal/template"
+)
+
+func main() {
+	log.SetFlags(0)
+	const benchmark = "Mixer"
+	const queries = 25
+
+	circuit, err := mps.Benchmark(benchmark)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp := placement.DefaultFloorplan(circuit)
+
+	fmt.Printf("generating structure for %s (balanced effort: the one-time\n", benchmark)
+	fmt.Println("cost a synthesis flow amortizes over every later run)...")
+	s, genStats, err := mps.Generate(circuit, mps.Options{Seed: 5, Effort: mps.EffortBalanced})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d placements in %s\n\n", s.NumPlacements(), genStats.Duration.Round(time.Millisecond))
+
+	tpl := template.Balanced(circuit)
+	evaluate := func(x, y, ws, hs []int) float64 {
+		l := &cost.Layout{Circuit: circuit, X: x, Y: y, W: ws, H: hs, Floorplan: fp}
+		return cost.DefaultWeights.Cost(l)
+	}
+
+	// Query points model a sizing loop that revisits the neighbourhood of
+	// good design points: half are drawn inside a stored placement's
+	// validity box (covered region — the structure answers), half jitter
+	// ±10% around a stored best point and may leave covered space (the
+	// backup answers, as §3.1.4 prescribes). Uniform random vectors in the
+	// 16-dimensional size space would almost never be covered at this tiny
+	// demo budget and would hide the comparison entirely.
+	ids := s.IDs()
+	rng := rand.New(rand.NewSource(99))
+	var mpsCosts, tplCosts, saCosts []float64
+	var mpsTime, tplTime, saTime time.Duration
+	backupHits := 0
+
+	for q := 0; q < queries; q++ {
+		ws := make([]int, circuit.N())
+		hs := make([]int, circuit.N())
+		seed := s.Get(ids[rng.Intn(len(ids))])
+		if q%2 == 0 {
+			// Inside the seed placement's box: covered by construction.
+			for i := range circuit.Blocks {
+				ws[i] = seed.WLo[i] + rng.Intn(seed.WHi[i]-seed.WLo[i]+1)
+				hs[i] = seed.HLo[i] + rng.Intn(seed.HHi[i]-seed.HLo[i]+1)
+			}
+		} else {
+			for i, b := range circuit.Blocks {
+				jw := (b.WMax - b.WMin) / 10
+				jh := (b.HMax - b.HMin) / 10
+				ws[i] = b.WRange().Clamp(seed.BestW[i] + rng.Intn(2*jw+1) - jw)
+				hs[i] = b.HRange().Clamp(seed.BestH[i] + rng.Intn(2*jh+1) - jh)
+			}
+		}
+
+		t0 := time.Now()
+		res, err := s.Instantiate(ws, hs)
+		mpsTime += time.Since(t0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.FromBackup {
+			backupHits++
+		}
+		mpsCosts = append(mpsCosts, evaluate(res.X, res.Y, ws, hs))
+
+		t0 = time.Now()
+		tx, ty, err := tpl.Place(ws, hs)
+		tplTime += time.Since(t0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tplCosts = append(tplCosts, evaluate(tx, ty, ws, hs))
+
+		t0 = time.Now()
+		sa, err := optplace.Place(circuit, fp, ws, hs, optplace.Config{Steps: 2500, Seed: int64(q)})
+		saTime += time.Since(t0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saCosts = append(saCosts, sa.Cost)
+	}
+
+	tb := stats.NewTable("approach", "mean cost", "min", "max", "mean latency")
+	add := func(name string, costs []float64, total time.Duration) {
+		sm := stats.Summarize(costs)
+		tb.AddRow(name, sm.Mean, sm.Min, sm.Max, (total / queries).String())
+	}
+	add("multi-placement structure", mpsCosts, mpsTime)
+	add("fixed template", tplCosts, tplTime)
+	add("per-query annealing", saCosts, saTime)
+	tb.Render(log.Writer())
+
+	fmt.Printf("\nqueries answered by backup template: %d/%d\n", backupHits, queries)
+	fmt.Println(`
+reading the table:
+  - per-query annealing finds the best layouts but pays ~100-1000x the
+    latency per placement call — unusable inside a sizing loop (paper §1);
+  - the structure and the template both answer in microseconds. At this
+    demo-scale generation budget most stored regions were explored once and
+    never contested, so the compact slicing template often wins on raw
+    cost. The paper's structures were generated for 21 minutes - 4 hours,
+    by which point every region has competed many times (see Figure 6 in
+    EXPERIMENTS.md, where per-point selection beats any fixed placement);
+  - raise mps.Options.Effort (or Iterations/BDIOSteps) to trade one-time
+    generation minutes for per-region quality.`)
+}

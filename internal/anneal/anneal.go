@@ -1,0 +1,171 @@
+// Package anneal provides the simulated-annealing engine shared by the four
+// annealers in this repository: the Placement Explorer (outer loop of the
+// paper's Fig. 4), the Block Dimensions-Interval Optimizer (inner loop), the
+// optimization-based baseline placer, and the sizing optimizer of the
+// synthesis example.
+//
+// The engine is deliberately small: geometric cooling, Metropolis
+// acceptance, and run statistics. Problem-specific state, moves and costs
+// live in the Problem implementation.
+package anneal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Problem is the state an annealer optimizes. Implementations own the
+// current solution and must support propose/accept/reject semantics:
+// Propose mutates toward a candidate, and exactly one of Accept or Reject
+// is called afterwards.
+type Problem interface {
+	// Propose mutates the current solution into a candidate and returns the
+	// candidate's cost. The magnitude hint in (0,1] scales how disruptive
+	// the move should be (1 = hottest).
+	Propose(rng *rand.Rand, magnitude float64) float64
+	// Accept commits the outstanding candidate.
+	Accept()
+	// Reject restores the solution from before the outstanding candidate.
+	Reject()
+}
+
+// Config controls an annealing run.
+type Config struct {
+	// InitialTemp is the starting temperature. If zero, it is calibrated
+	// from the initial cost (10% of it, floor 1).
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per step, in (0,1).
+	// Default 0.995.
+	Cooling float64
+	// Steps is the total number of proposals. Default 1000.
+	Steps int
+	// MinTemp stops the run early once reached. Default 1e-6.
+	MinTemp float64
+	// Seed seeds the run's private RNG when Rand is nil.
+	Seed int64
+	// Rand, when non-nil, is used instead of a new source (lets callers
+	// share one stream across nested annealers deterministically).
+	Rand *rand.Rand
+	// OnStep, when non-nil, observes every step after it resolves.
+	OnStep func(s Step)
+}
+
+// Step describes one annealing step for observers.
+type Step struct {
+	Index    int
+	Temp     float64
+	Cost     float64 // candidate cost
+	Accepted bool
+	Best     float64 // best cost so far, including this step
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	Steps     int
+	Accepted  int
+	InitCost  float64
+	BestCost  float64
+	FinalCost float64
+	// MeanCost is the average of all candidate costs seen — the paper's
+	// "average cost" that the BDIO reports to the Placement Explorer.
+	MeanCost  float64
+	FinalTemp float64
+}
+
+// AcceptRate returns the fraction of accepted proposals.
+func (s Stats) AcceptRate() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Steps)
+}
+
+// ErrNoSteps is returned when Config.Steps resolves to a non-positive count.
+var ErrNoSteps = errors.New("anneal: no steps configured")
+
+// Run anneals the problem starting from the given initial cost and returns
+// run statistics. The problem is left holding its final (last-accepted)
+// solution; callers needing the best-ever solution should track it in their
+// Accept implementation or via OnStep.
+func Run(p Problem, initCost float64, cfg Config) (Stats, error) {
+	steps := cfg.Steps
+	if steps == 0 {
+		steps = 1000
+	}
+	if steps < 0 {
+		return Stats{}, ErrNoSteps
+	}
+	cooling := cfg.Cooling
+	if cooling == 0 {
+		cooling = 0.995
+	}
+	if cooling <= 0 || cooling >= 1 {
+		return Stats{}, errors.New("anneal: cooling factor must be in (0,1)")
+	}
+	minTemp := cfg.MinTemp
+	if minTemp == 0 {
+		minTemp = 1e-6
+	}
+	temp := cfg.InitialTemp
+	if temp == 0 {
+		temp = math.Max(1, 0.1*math.Abs(initCost))
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+
+	stats := Stats{InitCost: initCost, BestCost: initCost, FinalCost: initCost}
+	current := initCost
+	var costSum float64
+	initialTemp := temp
+
+	for i := 0; i < steps && temp > minTemp; i++ {
+		magnitude := temp / initialTemp
+		if magnitude > 1 {
+			magnitude = 1
+		}
+		if magnitude <= 0 {
+			magnitude = 1e-9
+		}
+		cand := p.Propose(rng, magnitude)
+		costSum += cand
+		accepted := metropolis(current, cand, temp, rng)
+		if accepted {
+			p.Accept()
+			current = cand
+			stats.Accepted++
+		} else {
+			p.Reject()
+		}
+		if cand < stats.BestCost {
+			stats.BestCost = cand
+		}
+		stats.Steps++
+		if cfg.OnStep != nil {
+			cfg.OnStep(Step{Index: i, Temp: temp, Cost: cand, Accepted: accepted, Best: stats.BestCost})
+		}
+		temp *= cooling
+	}
+	stats.FinalCost = current
+	stats.FinalTemp = temp
+	if stats.Steps > 0 {
+		stats.MeanCost = costSum / float64(stats.Steps)
+	} else {
+		stats.MeanCost = initCost
+	}
+	return stats, nil
+}
+
+// metropolis applies the standard acceptance rule: always accept downhill,
+// accept uphill with probability exp(-Δ/T).
+func metropolis(current, candidate, temp float64, rng *rand.Rand) bool {
+	if candidate <= current {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return rng.Float64() < math.Exp(-(candidate-current)/temp)
+}

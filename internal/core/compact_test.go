@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestCompactMergesForkFragments: forcing a fork and then removing its
+// cause must let Compact re-merge the halves... but the cause stays stored
+// here, so instead we verify the canonical case: two manually inserted
+// abutting boxes with identical coordinates collapse into one.
+func TestCompactMergesAbuttingBoxes(t *testing.T) {
+	c, fp := pairCircuit()
+	s := NewStructure(c, fp)
+	// Same coordinates, same cost, abutting w0 intervals.
+	if _, err := s.Insert(mk(2.0, [2]int{10, 20}, full(), full(), full())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(mk(2.0, [2]int{21, 40}, full(), full(), full())); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPlacements() != 2 {
+		t.Fatalf("setup: %d placements, want 2", s.NumPlacements())
+	}
+	if got := s.Compact(); got != 1 {
+		t.Fatalf("Compact = %d merges, want 1", got)
+	}
+	if s.NumPlacements() != 1 {
+		t.Fatalf("after compact: %d placements, want 1", s.NumPlacements())
+	}
+	p, err := s.Query([]int{15, 5}, []int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WLo[0] != 10 || p.WHi[0] != 40 {
+		t.Errorf("merged interval [%d,%d], want [10,40]", p.WLo[0], p.WHi[0])
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactRefusesGapsAndDifferentCoords(t *testing.T) {
+	c, fp := pairCircuit()
+	s := NewStructure(c, fp)
+	// Gap between 20 and 22.
+	if _, err := s.Insert(mk(2.0, [2]int{10, 20}, full(), full(), full())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(mk(2.0, [2]int{22, 40}, full(), full(), full())); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Compact(); got != 0 {
+		t.Errorf("gap: Compact = %d merges, want 0", got)
+	}
+
+	s2 := NewStructure(c, fp)
+	a := mk(2.0, [2]int{10, 20}, full(), full(), full())
+	b := mk(2.0, [2]int{21, 40}, full(), full(), full())
+	b.X[0] = 5 // different coordinates: not the same placement
+	if _, err := s2.Insert(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Insert(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Compact(); got != 0 {
+		t.Errorf("coords differ: Compact = %d merges, want 0", got)
+	}
+}
+
+func TestCompactRefusesTwoDifferingRows(t *testing.T) {
+	c, fp := pairCircuit()
+	s := NewStructure(c, fp)
+	// Differ in w0 (abutting) AND h0: union is L-shaped, not a box.
+	if _, err := s.Insert(mk(2.0, [2]int{10, 20}, [2]int{1, 50}, full(), full())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(mk(2.0, [2]int{21, 40}, [2]int{51, 100}, full(), full())); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Compact(); got != 0 {
+		t.Errorf("two differing rows: Compact = %d merges, want 0", got)
+	}
+}
+
+// TestCompactAfterForkRestoresStructureSize: insert a low-cost middle cut
+// through a stored box (forcing a fork), then verify Compact reunites
+// whatever fragments remain mergeable and never changes query results.
+func TestCompactPreservesQuerySemantics(t *testing.T) {
+	c, fp := pairCircuit()
+	s := NewStructure(c, fp)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 40; i++ {
+		lo := 1 + rng.Intn(80)
+		hi := lo + rng.Intn(101-lo)
+		hlo := 1 + rng.Intn(80)
+		hhi := hlo + rng.Intn(101-hlo)
+		p := mk(1+rng.Float64()*9, [2]int{lo, hi}, [2]int{hlo, hhi}, full(), full())
+		if _, err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.NumPlacements()
+
+	// Record query answers (by coordinates, since IDs change on merge).
+	type answer struct {
+		ok bool
+		x0 int
+		y0 int
+	}
+	probe := func() []answer {
+		out := make([]answer, 0, 400)
+		prng := rand.New(rand.NewSource(5))
+		for k := 0; k < 400; k++ {
+			ws := []int{1 + prng.Intn(100), 1 + prng.Intn(100)}
+			hs := []int{1 + prng.Intn(100), 1 + prng.Intn(100)}
+			p, err := s.Query(ws, hs)
+			if err != nil {
+				out = append(out, answer{})
+				continue
+			}
+			out = append(out, answer{true, p.X[0], p.Y[0]})
+		}
+		return out
+	}
+	beforeAnswers := probe()
+	merges := s.Compact()
+	afterAnswers := probe()
+
+	if !reflect.DeepEqual(beforeAnswers, afterAnswers) {
+		t.Fatal("Compact changed query results")
+	}
+	if s.NumPlacements() != before-merges {
+		t.Errorf("placements %d, want %d - %d merges", s.NumPlacements(), before, merges)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotence.
+	if again := s.Compact(); again != 0 {
+		t.Errorf("second Compact performed %d merges, want 0", again)
+	}
+}
+
+func TestCompactWeightsAvgCost(t *testing.T) {
+	c, fp := pairCircuit()
+	s := NewStructure(c, fp)
+	// Interval lengths 11 ([10,20]) and 20 ([21,40]).
+	a := mk(1.0, [2]int{10, 20}, full(), full(), full())
+	b := mk(4.0, [2]int{21, 40}, full(), full(), full())
+	b.BestCost = 0.1 // b is the better half
+	b.BestW = []int{30, 30}
+	b.BestH = []int{30, 30}
+	if _, err := s.Insert(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Compact(); got != 1 {
+		t.Fatalf("Compact = %d, want 1", got)
+	}
+	m := s.Get(s.IDs()[0])
+	want := (1.0*11 + 4.0*20) / 31
+	if diff := m.AvgCost - want; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("merged AvgCost = %g, want %g", m.AvgCost, want)
+	}
+	if m.BestCost != 0.1 {
+		t.Errorf("merged BestCost = %g, want better half's 0.1", m.BestCost)
+	}
+	if m.BestW == nil || m.BestW[0] != 30 {
+		t.Errorf("merged BestW = %v, want better half's", m.BestW)
+	}
+}
+
+// TestCompactChain merges a run of three fragments into one.
+func TestCompactChain(t *testing.T) {
+	c, fp := pairCircuit()
+	s := NewStructure(c, fp)
+	for _, iv := range [][2]int{{1, 10}, {11, 30}, {31, 55}} {
+		if _, err := s.Insert(mk(2.0, iv, full(), full(), full())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Compact(); got != 2 {
+		t.Errorf("Compact = %d merges, want 2", got)
+	}
+	if s.NumPlacements() != 1 {
+		t.Errorf("placements = %d, want 1", s.NumPlacements())
+	}
+	p := s.Get(s.IDs()[0])
+	if p.WLo[0] != 1 || p.WHi[0] != 55 {
+		t.Errorf("chain merged to [%d,%d], want [1,55]", p.WLo[0], p.WHi[0])
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func filledStructure(t *testing.T) *Structure {
+	t.Helper()
+	c, fp := pairCircuit()
+	s := NewStructure(c, fp)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 15; i++ {
+		lo := 1 + rng.Intn(80)
+		hi := lo + rng.Intn(101-lo)
+		if _, err := s.Insert(mk(1+rng.Float64()*5, [2]int{lo, hi}, full(), full(), full())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestWriteJSONRoundTripsThroughDecoder(t *testing.T) {
+	s := filledStructure(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc ExportJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.Circuit != "pair" || doc.Blocks != 2 {
+		t.Errorf("header wrong: %+v", doc)
+	}
+	if len(doc.Placements) != s.NumPlacements() {
+		t.Errorf("exported %d placements, have %d", len(doc.Placements), s.NumPlacements())
+	}
+	if doc.Summary.Placements != s.NumPlacements() {
+		t.Errorf("summary count mismatch")
+	}
+	for _, p := range doc.Placements {
+		if len(p.X) != 2 || len(p.WLo) != 2 {
+			t.Fatalf("placement %d has wrong arity", p.ID)
+		}
+		if p.AvgCost <= 0 {
+			t.Errorf("placement %d: non-positive avg cost exported", p.ID)
+		}
+	}
+}
+
+func TestSummaryMetrics(t *testing.T) {
+	s := filledStructure(t)
+	sum := s.Summary()
+	if sum.Placements != s.NumPlacements() {
+		t.Errorf("Placements = %d, want %d", sum.Placements, s.NumPlacements())
+	}
+	if sum.Coverage <= 0 || sum.Coverage > 1 {
+		t.Errorf("Coverage = %g, want (0,1]", sum.Coverage)
+	}
+	if sum.MeanAvgCost <= 0 {
+		t.Errorf("MeanAvgCost = %g, want positive", sum.MeanAvgCost)
+	}
+	if sum.BestBestCost <= 0 || sum.BestBestCost > sum.MeanAvgCost {
+		t.Errorf("BestBestCost = %g vs mean %g, implausible", sum.BestBestCost, sum.MeanAvgCost)
+	}
+	if sum.RowIntervals <= 0 || sum.MaxRowLength <= 0 {
+		t.Errorf("row stats empty: %+v", sum)
+	}
+}
+
+func TestSummaryEmptyStructure(t *testing.T) {
+	c, fp := pairCircuit()
+	s := NewStructure(c, fp)
+	sum := s.Summary()
+	if sum.Placements != 0 || sum.MeanAvgCost != 0 || sum.BestBestCost != 0 {
+		t.Errorf("empty summary: %+v", sum)
+	}
+}
+
+func TestRowHistogram(t *testing.T) {
+	s := filledStructure(t)
+	wl, hl := s.RowHistogram()
+	if len(wl) != 2 || len(hl) != 2 {
+		t.Fatal("histogram arity wrong")
+	}
+	// Block 0 has varied intervals: its width row must be fragmented.
+	if wl[0] < 2 {
+		t.Errorf("block 0 width row has %d intervals, want several", wl[0])
+	}
+	// Block 1 intervals are all [1,100]: one interval.
+	if wl[1] != 1 {
+		t.Errorf("block 1 width row has %d intervals, want 1", wl[1])
+	}
+}
+
+func TestCostQuantiles(t *testing.T) {
+	s := filledStructure(t)
+	qs := s.CostQuantiles(4)
+	if len(qs) != 5 {
+		t.Fatalf("quartiles = %v, want 5 values", qs)
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Errorf("quantiles not ascending: %v", qs)
+		}
+	}
+	if s.CostQuantiles(0) != nil {
+		t.Error("q=0 should return nil")
+	}
+	empty := NewStructure(s.circuit, s.fp)
+	if empty.CostQuantiles(4) != nil {
+		t.Error("empty structure should return nil quantiles")
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobEncode and gobDecode are test helpers for corrupting save files.
+
+func gobEncode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mps/internal/geom"
+	"mps/internal/netlist"
+	"mps/internal/placement"
+)
+
+// This file provides persistence for the "generate once, use in every
+// synthesis run" workflow (paper Fig. 1): a structure is generated offline
+// by cmd/mpsgen, saved, and loaded by the synthesis loop.
+//
+// Only the live placements are serialized; the 2N rows are rebuilt on load
+// by re-storing every placement, which guarantees a loaded structure's rows
+// are consistent with its placements by construction.
+
+// fileFormat is the on-disk representation.
+type fileFormat struct {
+	Version     int
+	CircuitName string
+	Floorplan   geom.Rect
+	Placements  []savedPlacement
+}
+
+type savedPlacement struct {
+	X, Y               []int
+	WLo, WHi, HLo, HHi []int
+	AvgCost, BestCost  float64
+	BestW, BestH       []int
+}
+
+const formatVersion = 1
+
+// Save writes the structure to w in gob format.
+func (s *Structure) Save(w io.Writer) error {
+	ff := fileFormat{
+		Version:     formatVersion,
+		CircuitName: s.circuit.Name,
+		Floorplan:   s.fp,
+	}
+	for _, p := range s.placements {
+		if p == nil {
+			continue
+		}
+		ff.Placements = append(ff.Placements, savedPlacement{
+			X: p.X, Y: p.Y,
+			WLo: p.WLo, WHi: p.WHi, HLo: p.HLo, HHi: p.HHi,
+			AvgCost: p.AvgCost, BestCost: p.BestCost,
+			BestW: p.BestW, BestH: p.BestH,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(ff); err != nil {
+		return fmt.Errorf("core: encoding structure: %w", err)
+	}
+	return nil
+}
+
+// Load reads a structure saved by Save. The circuit must be the same
+// topology the structure was generated for (matched by name and block
+// count). Placements are verified pairwise-disjoint while loading, so a
+// corrupted file that would violate eq. 5 is rejected rather than silently
+// repaired.
+func Load(r io.Reader, c *netlist.Circuit) (*Structure, error) {
+	var ff fileFormat
+	if err := gob.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("core: decoding structure: %w", err)
+	}
+	if ff.Version != formatVersion {
+		return nil, fmt.Errorf("core: unsupported format version %d", ff.Version)
+	}
+	if c.Name != ff.CircuitName {
+		return nil, fmt.Errorf("core: file is for circuit %q, not %q", ff.CircuitName, c.Name)
+	}
+	s := NewStructure(c, ff.Floorplan)
+	n := c.N()
+	for idx, sp := range ff.Placements {
+		if len(sp.X) != n || len(sp.Y) != n || len(sp.WLo) != n || len(sp.WHi) != n ||
+			len(sp.HLo) != n || len(sp.HHi) != n {
+			return nil, fmt.Errorf("core: placement %d has wrong arity for %d blocks", idx, n)
+		}
+		p := &placement.Placement{
+			ID: -1,
+			X:  sp.X, Y: sp.Y,
+			WLo: sp.WLo, WHi: sp.WHi, HLo: sp.HLo, HHi: sp.HHi,
+			AvgCost: sp.AvgCost, BestCost: sp.BestCost,
+			BestW: sp.BestW, BestH: sp.BestH,
+		}
+		for _, id := range s.IDs() {
+			if p.BoxOverlaps(s.placements[id]) {
+				return nil, fmt.Errorf("core: placements %d and %d in file overlap (corrupt save)", idx, id)
+			}
+		}
+		if _, err := s.store(p); err != nil {
+			return nil, fmt.Errorf("core: placement %d: %w", idx, err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,308 @@
+// Package core implements the multi-placement structure — the paper's
+// primary contribution (§2). A Structure maps any block-dimension vector
+// V = (w_1,h_1, …, w_N,h_N) to at most one stored placement via 2N interval
+// rows (Fig. 3): a width row and a height row per block, each an ascending
+// non-overlapping interval list carrying placement indices.
+//
+// The defining invariant is eq. 5, |M(V)| <= 1 for every V, enforced by
+// keeping the stored placements' 2N-dimensional dimension boxes pairwise
+// disjoint (see resolve.go). Queries on covered space return exactly one
+// placement; uncovered space falls back to a caller-provided backup
+// template (§3.1.4: "the remaining uncovered percentage of the space would
+// then be mapped to a template-like placement").
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mps/internal/geom"
+	"mps/internal/intervalmap"
+	"mps/internal/netlist"
+	"mps/internal/placement"
+)
+
+// Backup instantiates a placement for dimension vectors no stored placement
+// covers. Implementations must accept any in-bounds dimension vector.
+type Backup interface {
+	// Place returns bottom-left anchors for every block at dims (ws, hs).
+	Place(ws, hs []int) (x, y []int, err error)
+}
+
+// ErrUncovered is returned by Query when no stored placement covers the
+// requested dimensions and no backup is installed.
+var ErrUncovered = errors.New("core: dimension vector not covered by any stored placement")
+
+// Structure is a multi-placement structure for one circuit topology.
+type Structure struct {
+	circuit *netlist.Circuit
+	fp      geom.Rect
+
+	// placements is indexed by placement ID; deleted entries are nil.
+	placements []*placement.Placement
+	alive      int
+
+	// wRows[i] and hRows[i] are block i's width and height rows.
+	wRows, hRows []*intervalmap.Row
+
+	backup Backup
+
+	// resolveStrategy selects the shrink row during overlap resolution.
+	resolveStrategy ResolveRowStrategy
+
+	// buf is scratch space for query intersection.
+	buf []int
+}
+
+// NewStructure returns an empty structure for the circuit on the given
+// floorplan.
+func NewStructure(c *netlist.Circuit, fp geom.Rect) *Structure {
+	n := c.N()
+	s := &Structure{
+		circuit: c,
+		fp:      fp,
+		wRows:   make([]*intervalmap.Row, n),
+		hRows:   make([]*intervalmap.Row, n),
+	}
+	for i := 0; i < n; i++ {
+		s.wRows[i] = &intervalmap.Row{}
+		s.hRows[i] = &intervalmap.Row{}
+	}
+	return s
+}
+
+// Circuit returns the topology this structure was generated for.
+func (s *Structure) Circuit() *netlist.Circuit { return s.circuit }
+
+// Floorplan returns the floorplan the placements live on.
+func (s *Structure) Floorplan() geom.Rect { return s.fp }
+
+// SetBackup installs the fallback instantiator for uncovered queries.
+func (s *Structure) SetBackup(b Backup) { s.backup = b }
+
+// SetResolveStrategy selects the shrink-row policy for subsequent Inserts.
+// The default (SmallestOverlapRow) is the paper's choice; FirstOverlapRow
+// exists for the ablation benchmarks.
+func (s *Structure) SetResolveStrategy(rs ResolveRowStrategy) { s.resolveStrategy = rs }
+
+// LookupLinear is the reference query implementation: a linear scan over
+// all live placements with Covers. It exists to validate Lookup and as the
+// ablation baseline for the row-based query path; results match Lookup
+// exactly.
+func (s *Structure) LookupLinear(ws, hs []int) []int {
+	var out []int
+	for id, p := range s.placements {
+		if p != nil && p.Covers(ws, hs) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NumPlacements returns the number of live stored placements — the
+// "Placements" column of the paper's Table 2.
+func (s *Structure) NumPlacements() int { return s.alive }
+
+// IDs returns the IDs of all live placements in ascending order.
+func (s *Structure) IDs() []int {
+	out := make([]int, 0, s.alive)
+	for id, p := range s.placements {
+		if p != nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Get returns the live placement with the given ID, or nil.
+func (s *Structure) Get(id int) *placement.Placement {
+	if id < 0 || id >= len(s.placements) {
+		return nil
+	}
+	return s.placements[id]
+}
+
+// store assigns the next ID to p, records it, and registers its intervals
+// in all 2N rows (the paper's Store Placement routine). The caller must
+// have resolved overlaps first.
+func (s *Structure) store(p *placement.Placement) (int, error) {
+	if p.BoxEmpty() {
+		return -1, fmt.Errorf("core: refusing to store placement with empty dimension box")
+	}
+	if err := p.CheckIntervalsWithin(s.circuit); err != nil {
+		return -1, err
+	}
+	id := len(s.placements)
+	p.ID = id
+	s.placements = append(s.placements, p)
+	s.alive++
+	for i := 0; i < s.circuit.N(); i++ {
+		s.wRows[i].Insert(id, p.WIv(i))
+		s.hRows[i].Insert(id, p.HIv(i))
+	}
+	return id, nil
+}
+
+// delete removes the placement from the structure and all rows.
+func (s *Structure) delete(id int) {
+	p := s.placements[id]
+	if p == nil {
+		return
+	}
+	for i := 0; i < s.circuit.N(); i++ {
+		s.wRows[i].Remove(id, p.WIv(i))
+		s.hRows[i].Remove(id, p.HIv(i))
+	}
+	s.placements[id] = nil
+	s.alive--
+}
+
+// shrinkRow narrows one validity interval of a stored placement in place,
+// updating the affected row. dim 0 is width, 1 is height.
+func (s *Structure) shrinkRow(p *placement.Placement, block, dim int, newIv geom.Interval) {
+	var row *intervalmap.Row
+	var old geom.Interval
+	if dim == 0 {
+		row = s.wRows[block]
+		old = p.WIv(block)
+	} else {
+		row = s.hRows[block]
+		old = p.HIv(block)
+	}
+	row.Remove(p.ID, old)
+	row.Insert(p.ID, newIv)
+	if dim == 0 {
+		p.WLo[block], p.WHi[block] = newIv.Lo, newIv.Hi
+	} else {
+		p.HLo[block], p.HHi[block] = newIv.Lo, newIv.Hi
+	}
+}
+
+// Lookup returns the IDs of all stored placements covering the dimension
+// vector — the raw intersection of eq. 4 before the |M(V)| = 1 check.
+// The result is nil when uncovered and shares no memory with the rows.
+func (s *Structure) Lookup(ws, hs []int) []int {
+	n := s.circuit.N()
+	acc := s.buf[:0]
+	first := true
+	for i := 0; i < n; i++ {
+		for dim := 0; dim < 2; dim++ {
+			var ids []int
+			if dim == 0 {
+				ids = s.wRows[i].Lookup(ws[i])
+			} else {
+				ids = s.hRows[i].Lookup(hs[i])
+			}
+			if len(ids) == 0 {
+				s.buf = acc[:0]
+				return nil
+			}
+			if first {
+				acc = append(acc, ids...)
+				first = false
+				continue
+			}
+			acc = intersectSorted(acc, ids)
+			if len(acc) == 0 {
+				s.buf = acc
+				return nil
+			}
+		}
+	}
+	s.buf = acc
+	out := make([]int, len(acc))
+	copy(out, acc)
+	return out
+}
+
+// Result is a placement instantiation: anchors for every block plus the
+// provenance of the answer.
+type Result struct {
+	// X, Y hold block anchors.
+	X, Y []int
+	// PlacementID is the stored placement used, or -1 when the backup
+	// template answered.
+	PlacementID int
+	// FromBackup reports whether the backup template answered.
+	FromBackup bool
+}
+
+// Query implements the paper's function M (eq. 1/4): it returns the unique
+// stored placement covering dims (ws, hs). Uncovered space falls back to
+// the backup when installed, else returns ErrUncovered. More than one
+// covering placement is an invariant violation and returns an error.
+func (s *Structure) Query(ws, hs []int) (*placement.Placement, error) {
+	if err := s.checkDims(ws, hs); err != nil {
+		return nil, err
+	}
+	ids := s.Lookup(ws, hs)
+	switch len(ids) {
+	case 0:
+		return nil, ErrUncovered
+	case 1:
+		return s.placements[ids[0]], nil
+	}
+	return nil, fmt.Errorf("core: eq.5 violated — %d placements cover one dimension vector: %v",
+		len(ids), ids)
+}
+
+// Instantiate answers a synthesis-loop placement request: given block
+// dimensions it returns anchors from the covering stored placement, or from
+// the backup template for uncovered space.
+func (s *Structure) Instantiate(ws, hs []int) (Result, error) {
+	p, err := s.Query(ws, hs)
+	switch {
+	case err == nil:
+		return Result{X: cloneInts(p.X), Y: cloneInts(p.Y), PlacementID: p.ID}, nil
+	case errors.Is(err, ErrUncovered) && s.backup != nil:
+		x, y, berr := s.backup.Place(ws, hs)
+		if berr != nil {
+			return Result{}, fmt.Errorf("core: backup failed: %w", berr)
+		}
+		return Result{X: x, Y: y, PlacementID: -1, FromBackup: true}, nil
+	default:
+		return Result{}, err
+	}
+}
+
+// checkDims validates vector lengths and designer bounds.
+func (s *Structure) checkDims(ws, hs []int) error {
+	n := s.circuit.N()
+	if len(ws) != n || len(hs) != n {
+		return fmt.Errorf("core: dimension vectors sized %d/%d, want %d", len(ws), len(hs), n)
+	}
+	for i, b := range s.circuit.Blocks {
+		if !b.WRange().Contains(ws[i]) {
+			return fmt.Errorf("core: block %d width %d outside designer bounds %v", i, ws[i], b.WRange())
+		}
+		if !b.HRange().Contains(hs[i]) {
+			return fmt.Errorf("core: block %d height %d outside designer bounds %v", i, hs[i], b.HRange())
+		}
+	}
+	return nil
+}
+
+// intersectSorted intersects two ascending slices in place into acc.
+func intersectSorted(acc, other []int) []int {
+	out := acc[:0]
+	i, j := 0, 0
+	for i < len(acc) && j < len(other) {
+		switch {
+		case acc[i] < other[j]:
+			i++
+		case acc[i] > other[j]:
+			j++
+		default:
+			out = append(out, acc[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func cloneInts(s []int) []int {
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}

@@ -1,0 +1,82 @@
+package cost
+
+import "math"
+
+// SymmetryPenalty scores how far a layout deviates from the circuit's
+// symmetry groups. For each group the penalty measures, per mirror pair,
+// the mismatch of the pair's midpoint against the group axis (horizontal)
+// and the vertical offset between the pair; self-symmetric blocks are
+// charged their center's distance to the axis. The axis itself is free: it
+// is chosen per group as the penalty-minimizing position (the mean of the
+// constrained centers), so only relative geometry is constrained, exactly
+// like analog placers treat symmetry.
+//
+// The result is in layout units (a length), so it composes naturally with
+// wire length in a weighted sum.
+func SymmetryPenalty(l *Layout) float64 {
+	total := 0.0
+	for _, g := range l.Circuit.Symmetries {
+		// Optimal vertical axis: mean of pair midpoints and self centers.
+		sum, n := 0.0, 0
+		centerX := func(i int) float64 { return float64(l.X[i]) + float64(l.W[i])/2 }
+		for _, p := range g.Pairs {
+			sum += (centerX(p.A) + centerX(p.B)) / 2
+			n++
+		}
+		for _, i := range g.SelfSym {
+			sum += centerX(i)
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		axis := sum / float64(n)
+		for _, p := range g.Pairs {
+			mid := (centerX(p.A) + centerX(p.B)) / 2
+			total += math.Abs(mid - axis)
+			total += math.Abs(float64(l.Y[p.A]) - float64(l.Y[p.B]))
+			// Mirrored devices must also match dimensions; mismatch is a
+			// placement-independent term but charging it keeps degenerate
+			// sizings visible to the synthesis loop.
+			total += math.Abs(float64(l.W[p.A]) - float64(l.W[p.B]))
+			total += math.Abs(float64(l.H[p.A]) - float64(l.H[p.B]))
+		}
+		for _, i := range g.SelfSym {
+			total += math.Abs(centerX(i) - axis)
+		}
+	}
+	return total
+}
+
+// Term is one weighted component of a composite evaluator.
+type Term struct {
+	Weight float64
+	Eval   Evaluator
+}
+
+// Composite sums weighted evaluator terms — the mechanism for adding
+// symmetry (or any custom term) to the default wire+area cost:
+//
+//	ev := cost.Composite{
+//	    {1, cost.DefaultWeights},
+//	    {4, cost.EvaluatorFunc(func(l *cost.Layout) float64 { return cost.SymmetryPenalty(l) })),
+//	}
+type Composite []Term
+
+// Cost implements Evaluator.
+func (cp Composite) Cost(l *Layout) float64 {
+	total := 0.0
+	for _, t := range cp {
+		total += t.Weight * t.Eval.Cost(l)
+	}
+	return total
+}
+
+// WithSymmetry returns the standard analog evaluator: the given base cost
+// plus the symmetry penalty at the given weight.
+func WithSymmetry(base Evaluator, weight float64) Evaluator {
+	return Composite{
+		{Weight: 1, Eval: base},
+		{Weight: weight, Eval: EvaluatorFunc(SymmetryPenalty)},
+	}
+}

@@ -1,0 +1,134 @@
+package cost
+
+import (
+	"testing"
+
+	"mps/internal/circuits"
+	"mps/internal/geom"
+	"mps/internal/netlist"
+)
+
+// symLayout builds a 3-block circuit (pair l/r + self-symmetric mid) with
+// explicit coordinates.
+func symLayout(t *testing.T, xs, ys []int) *Layout {
+	t.Helper()
+	b := netlist.NewBuilder("sym")
+	b.Block("l", 8, 8, 8, 8)
+	b.Block("r", 8, 8, 8, 8)
+	b.Block("mid", 8, 8, 8, 8)
+	b.Net("n", 1, netlist.P("l"), netlist.P("r"))
+	c := b.MustBuild()
+	if err := c.AddSymmetry(&netlist.SymmetryGroup{
+		Name:    "g",
+		Pairs:   []netlist.SymPair{{A: 0, B: 1}},
+		SelfSym: []int{2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &Layout{
+		Circuit:   c,
+		X:         xs, Y: ys,
+		W:         []int{8, 8, 8},
+		H:         []int{8, 8, 8},
+		Floorplan: geom.NewRect(0, 0, 100, 100),
+	}
+}
+
+func TestSymmetryPenaltyZeroForPerfectMirror(t *testing.T) {
+	// l at x=10, r at x=50 -> midpoint 34; mid centered at 34 (x=30).
+	// All pair blocks at the same y.
+	l := symLayout(t, []int{10, 50, 30}, []int{0, 0, 20})
+	if got := SymmetryPenalty(l); got != 0 {
+		t.Errorf("perfect mirror penalty = %g, want 0", got)
+	}
+}
+
+func TestSymmetryPenaltyGrowsWithYOffset(t *testing.T) {
+	base := SymmetryPenalty(symLayout(t, []int{10, 50, 30}, []int{0, 4, 20}))
+	worse := SymmetryPenalty(symLayout(t, []int{10, 50, 30}, []int{0, 12, 20}))
+	if base <= 0 {
+		t.Fatal("y-offset pair should be penalized")
+	}
+	if worse <= base {
+		t.Errorf("larger y offset penalty %g should exceed %g", worse, base)
+	}
+}
+
+func TestSymmetryPenaltyChargesOffAxisSelf(t *testing.T) {
+	aligned := SymmetryPenalty(symLayout(t, []int{10, 50, 30}, []int{0, 0, 20}))
+	offAxis := SymmetryPenalty(symLayout(t, []int{10, 50, 44}, []int{0, 0, 20}))
+	if offAxis <= aligned {
+		t.Errorf("off-axis self-symmetric block penalty %g should exceed %g", offAxis, aligned)
+	}
+}
+
+func TestSymmetryPenaltyChargesDimensionMismatch(t *testing.T) {
+	l := symLayout(t, []int{10, 50, 30}, []int{0, 0, 20})
+	l.W[1] = 12 // mirrored pair with mismatched widths
+	if got := SymmetryPenalty(l); got <= 0 {
+		t.Error("dimension mismatch between mirrored blocks should be penalized")
+	}
+}
+
+func TestSymmetryPenaltyZeroWithoutGroups(t *testing.T) {
+	c := circuits.MustByName("circ01") // synthetic: no symmetry groups
+	n := c.N()
+	l := &Layout{
+		Circuit: c,
+		X:       make([]int, n), Y: make([]int, n),
+		W: make([]int, n), H: make([]int, n),
+		Floorplan: geom.NewRect(0, 0, 100, 100),
+	}
+	for i, b := range c.Blocks {
+		l.X[i] = i * 20
+		l.W[i], l.H[i] = b.WMin, b.HMin
+	}
+	if got := SymmetryPenalty(l); got != 0 {
+		t.Errorf("no groups: penalty = %g, want 0", got)
+	}
+}
+
+func TestNamedBenchmarksCarrySymmetry(t *testing.T) {
+	for _, name := range []string{"TwoStageOpamp", "SingleEndedOpamp", "Mixer"} {
+		c := circuits.MustByName(name)
+		if len(c.Symmetries) == 0 {
+			t.Errorf("%s: expected symmetry groups", name)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCompositeAndWithSymmetry(t *testing.T) {
+	l := symLayout(t, []int{10, 50, 44}, []int{0, 6, 20}) // asymmetric
+	base := DefaultWeights.Cost(l)
+	sym := SymmetryPenalty(l)
+	if sym <= 0 {
+		t.Fatal("layout should be asymmetric")
+	}
+	comp := Composite{
+		{Weight: 1, Eval: DefaultWeights},
+		{Weight: 3, Eval: EvaluatorFunc(SymmetryPenalty)},
+	}
+	if got, want := comp.Cost(l), base+3*sym; got != want {
+		t.Errorf("Composite.Cost = %g, want %g", got, want)
+	}
+	ws := WithSymmetry(DefaultWeights, 2)
+	if got, want := ws.Cost(l), base+2*sym; got != want {
+		t.Errorf("WithSymmetry cost = %g, want %g", got, want)
+	}
+}
+
+// TestSymmetryAwarePlacementScoresBetter: a mirrored layout must beat an
+// asymmetric one under WithSymmetry while tying under the base evaluator
+// when wire/area are equal.
+func TestSymmetryAwarePlacementScoresBetter(t *testing.T) {
+	mirror := symLayout(t, []int{10, 50, 30}, []int{0, 0, 20})
+	skew := symLayout(t, []int{10, 50, 30}, []int{0, 10, 20})
+	ev := WithSymmetry(DefaultWeights, 5)
+	if ev.Cost(mirror) >= ev.Cost(skew) {
+		t.Errorf("mirrored layout %g should beat skewed %g under symmetry-aware cost",
+			ev.Cost(mirror), ev.Cost(skew))
+	}
+}

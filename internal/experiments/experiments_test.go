@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"circ01", "benchmark24", "TwoStageOpamp", "Blocks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateForBenchmark(t *testing.T) {
+	s, st, err := GenerateForBenchmark("circ01", EffortQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPlacements() == 0 {
+		t.Error("no placements generated")
+	}
+	if st.Duration <= 0 {
+		t.Error("no duration recorded")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateForBenchmarkUnknown(t *testing.T) {
+	if _, _, err := GenerateForBenchmark("nope", EffortQuick, 1); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestMeasureInstantiation(t *testing.T) {
+	s, _, err := GenerateForBenchmark("circ01", EffortQuick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, backupRate, err := MeasureInstantiation(s, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 0 {
+		t.Errorf("avg latency = %v, want positive", avg)
+	}
+	// The headline claim: instantiation is far below the paper's
+	// milliseconds on modern hardware; a millisecond bound is generous.
+	if avg > time.Millisecond {
+		t.Errorf("avg instantiation latency %v exceeds 1ms", avg)
+	}
+	if backupRate < 0 || backupRate > 1 {
+		t.Errorf("backup rate = %g, want in [0,1]", backupRate)
+	}
+}
+
+// TestTable2ShapeQuick runs the full Table 2 harness at quick effort on a
+// subset of the shape claims: generation is orders of magnitude slower than
+// instantiation, and every circuit stores multiple placements.
+func TestTable2ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite generation is seconds-scale; skipped in -short")
+	}
+	var buf bytes.Buffer
+	rows, err := RunTable2(&buf, EffortQuick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if r.Placements < 2 {
+			t.Errorf("%s: only %d placements stored", r.Circuit, r.Placements)
+		}
+		if r.InstantiateAvg <= 0 {
+			t.Errorf("%s: no instantiation latency", r.Circuit)
+			continue
+		}
+		ratio := float64(r.GenTime) / float64(r.InstantiateAvg)
+		if ratio < 100 {
+			t.Errorf("%s: generation only %.0fx slower than instantiation; paper shape is >>100x",
+				r.Circuit, ratio)
+		}
+		if r.Paper == nil {
+			t.Errorf("%s: missing paper reference row", r.Circuit)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "benchmark24") {
+		t.Errorf("rendered table incomplete:\n%s", out)
+	}
+}
+
+func TestFigure5DistinctInstantiations(t *testing.T) {
+	s, _, err := GenerateForBenchmark("TwoStageOpamp", EffortQuick, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := RunFigure5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ascii := range map[string]string{"a": fig.ASCIIa, "b": fig.ASCIIb, "c": fig.ASCIIc} {
+		if !strings.Contains(ascii, "DIFF") {
+			t.Errorf("fig5.%s missing legend:\n%s", name, ascii)
+		}
+		if strings.Contains(ascii, "?") {
+			t.Errorf("fig5.%s has overlapping blocks:\n%s", name, ascii)
+		}
+	}
+	if !strings.HasPrefix(fig.SVGa, "<svg") {
+		t.Error("fig5 SVG output malformed")
+	}
+	// (a) and (b) should differ: different sizes produce different layouts
+	// even when the same stored placement answers both.
+	if fig.ASCIIa == fig.ASCIIb {
+		t.Error("fig5 (a) and (b) rendered identically")
+	}
+}
+
+func TestFigure6LowestCostSelection(t *testing.T) {
+	s, _, err := GenerateForBenchmark("TwoStageOpamp", EffortQuick, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := RunFigure6(s, defaultEvaluator(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.SweepValues) < 10 {
+		t.Fatalf("sweep too short: %d points", len(fig.SweepValues))
+	}
+	if len(fig.SelectedCosts) != len(fig.SweepValues) {
+		t.Fatal("series length mismatch")
+	}
+	// The sweep anchors at a stored placement's best dims, so at least one
+	// sweep point must be answered by a stored placement.
+	if len(fig.PlacementIDs) == 0 {
+		t.Fatal("no stored placement selected anywhere on the anchored sweep")
+	}
+	for k, costs := range fig.FixedCosts {
+		if len(costs) != len(fig.SweepValues) {
+			t.Fatalf("fixed series %d length mismatch", k)
+		}
+	}
+	// The paper's claim: per-point selection is at least as good on average
+	// as committing to any single fixed placement.
+	if gain := fig.SelectionGain(); gain > 1.02 {
+		t.Errorf("selection gain %.3f > 1: structure failed to select lowest-cost placements", gain)
+	}
+
+	var buf bytes.Buffer
+	RenderFigure6(&buf, fig)
+	if !strings.Contains(buf.String(), "selection gain") {
+		t.Error("rendered figure missing summary")
+	}
+
+	buf.Reset()
+	if err := PlotFigure6(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	plots := buf.String()
+	if !strings.Contains(plots, "Figure 6 (top)") || !strings.Contains(plots, "Figure 6 (bottom)") {
+		t.Errorf("missing stacked plots:\n%s", plots)
+	}
+	if !strings.Contains(plots, "selected") {
+		t.Error("bottom plot legend missing")
+	}
+}
+
+func TestFigure7Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tso-cascode generation skipped in -short")
+	}
+	s, _, err := GenerateForBenchmark("tso-cascode", EffortQuick, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := RunFigure7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(fig.ASCII, "?") {
+		t.Errorf("fig7 layout has overlaps:\n%s", fig.ASCII)
+	}
+	if !strings.Contains(fig.ASCII, "B00") {
+		t.Errorf("fig7 legend missing blocks:\n%s", fig.ASCII)
+	}
+	if !strings.HasPrefix(fig.SVG, "<svg") {
+		t.Error("fig7 SVG malformed")
+	}
+}
+
+func TestPaperReferenceComplete(t *testing.T) {
+	if len(PaperTable2) != 9 {
+		t.Fatalf("paper table has %d rows, want 9", len(PaperTable2))
+	}
+	if PaperRowByName("circ01") == nil || PaperRowByName("benchmark24") == nil {
+		t.Error("reference lookup broken")
+	}
+	if PaperRowByName("nope") != nil {
+		t.Error("unknown circuit should return nil")
+	}
+	// Published shape: generation time grows from circ01 to benchmark24.
+	if PaperTable2[0].GenTime >= PaperTable2[8].GenTime {
+		t.Error("reference rows out of order")
+	}
+}

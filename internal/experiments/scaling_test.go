@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunScalingShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunScaling(&buf, []int{4, 10, 16}, EffortQuick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Placements < 1 {
+			t.Errorf("blocks=%d: no placements", r.Blocks)
+		}
+		if r.GenTime <= 0 || r.InstantiateAvg <= 0 {
+			t.Errorf("blocks=%d: missing timings", r.Blocks)
+		}
+		// Generation must dominate instantiation at every size.
+		if float64(r.GenTime) < 50*float64(r.InstantiateAvg) {
+			t.Errorf("blocks=%d: generation only %.0fx instantiation",
+				r.Blocks, float64(r.GenTime)/float64(r.InstantiateAvg))
+		}
+	}
+	// Paper's Table 2 trend: generation time grows with block count.
+	if rows[2].GenTime <= rows[0].GenTime {
+		t.Errorf("generation time did not grow: %v at 4 blocks vs %v at 16",
+			rows[0].GenTime, rows[2].GenTime)
+	}
+	if !strings.Contains(buf.String(), "Scaling study") {
+		t.Error("table not rendered")
+	}
+}
+
+func TestRunSynthComparison(t *testing.T) {
+	s, _, err := GenerateForBenchmark("Mixer", EffortQuick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rows, err := RunSynthComparison(&buf, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 providers", len(rows))
+	}
+	byName := map[string]SynthRow{}
+	for _, r := range rows {
+		byName[r.Provider] = r
+		if r.BestCost <= 0 || r.BestCost >= 1e12 {
+			t.Errorf("%s: implausible best cost %g", r.Provider, r.BestCost)
+		}
+		if r.TimePerIt <= 0 {
+			t.Errorf("%s: missing time per iteration", r.Provider)
+		}
+	}
+	// The central trade-off: per-query annealing pays orders of magnitude
+	// more per placement call than the structure.
+	sa := byName["per-query annealing"]
+	st := byName["multi-placement structure"]
+	if sa.PlaceTime < 20*st.PlaceTime {
+		t.Errorf("annealing place/call %v not >> structure place/call %v",
+			sa.PlaceTime, st.PlaceTime)
+	}
+	if !strings.Contains(buf.String(), "Synthesis-loop comparison") {
+		t.Error("table not rendered")
+	}
+}

@@ -1,0 +1,267 @@
+// Package explorer implements the Placement Explorer — the outer simulated
+// annealing of the paper's nested generation algorithm (§3.1, Fig. 4).
+//
+// Each iteration follows the figure's flow exactly:
+//
+//	Placement Selector -> Placement Expansion -> BDIO -> Resolve Overlaps ->
+//	Store Placement -> Accept New Placement? -> Perturb (or Restore)
+//
+// Every explored placement is resolved and stored (DESIGN.md D6); the
+// Metropolis test on the BDIO's average cost only decides which placement
+// seeds the next perturbation. The run stops on coverage target, placement
+// budget, or iteration budget — whichever first (D7).
+package explorer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mps/internal/bdio"
+	"mps/internal/core"
+	"mps/internal/cost"
+	"mps/internal/geom"
+	"mps/internal/netlist"
+	"mps/internal/placement"
+)
+
+// Config controls one generation run.
+type Config struct {
+	// Seed drives all randomness; runs with equal seeds and configs are
+	// identical (when Chains == 1).
+	Seed int64
+	// MaxIterations bounds outer-SA steps. Default 300.
+	MaxIterations int
+	// MaxPlacements stops once the structure holds this many placements
+	// (0 = unlimited).
+	MaxPlacements int
+	// TargetCoverage stops once exact volume coverage reaches this fraction
+	// (0 = disabled). Practical only for small circuits (DESIGN.md D7).
+	TargetCoverage float64
+	// PerturbFraction is the share of blocks moved per perturbation
+	// (paper §3.1.4: "a percentage value set by the user"). Default 0.3.
+	PerturbFraction float64
+	// MaxShift bounds per-block displacement during perturbation, in layout
+	// units. Default: a quarter of the floorplan side.
+	MaxShift int
+	// ExpandStep is the units added per expansion increment. Default 1.
+	ExpandStep int
+	// Cooling is the outer-SA geometric cooling factor. Default 0.98.
+	Cooling float64
+	// InitialTemp for the outer SA; 0 calibrates from the first cost.
+	InitialTemp float64
+	// BDIO configures the inner annealer (its Rand field is ignored; the
+	// explorer supplies one per chain).
+	BDIO bdio.Config
+	// Evaluator scores layouts. Default cost.DefaultWeights.
+	Evaluator cost.Evaluator
+	// Floorplan overrides placement.DefaultFloorplan when non-empty.
+	Floorplan geom.Rect
+	// Chains runs this many independent explorer chains feeding one
+	// structure (extension; see DESIGN.md §6 ablations). Default 1.
+	Chains int
+	// Progress, when non-nil, observes each iteration (chain, iteration,
+	// structure size). Called under the structure lock; keep it fast.
+	Progress func(chain, iter, numPlacements int)
+}
+
+func (cfg Config) withDefaults(c *netlist.Circuit) Config {
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 300
+	}
+	if cfg.PerturbFraction == 0 {
+		cfg.PerturbFraction = 0.3
+	}
+	if cfg.ExpandStep == 0 {
+		cfg.ExpandStep = 1
+	}
+	if cfg.Cooling == 0 {
+		cfg.Cooling = 0.98
+	}
+	if cfg.Evaluator == nil {
+		cfg.Evaluator = cost.DefaultWeights
+	}
+	if cfg.Floorplan.Empty() {
+		cfg.Floorplan = placement.DefaultFloorplan(c)
+	}
+	if cfg.MaxShift == 0 {
+		cfg.MaxShift = cfg.Floorplan.W() / 4
+		if cfg.MaxShift < 1 {
+			cfg.MaxShift = 1
+		}
+	}
+	if cfg.Chains == 0 {
+		cfg.Chains = 1
+	}
+	return cfg
+}
+
+// Stats summarizes a generation run — the raw material of Table 2.
+type Stats struct {
+	Iterations     int
+	Stored         int // placements that survived resolve (pieces counted once per insert)
+	CandidatesDied int
+	Accepted       int
+	BestAvgCost    float64
+	FinalCoverage  float64
+	Duration       time.Duration
+}
+
+// Generate runs the Placement Explorer and returns the filled structure.
+func Generate(c *netlist.Circuit, cfg Config) (*core.Structure, Stats, error) {
+	if err := c.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("explorer: %w", err)
+	}
+	cfg = cfg.withDefaults(c)
+	s := core.NewStructure(c, cfg.Floorplan)
+
+	start := time.Now()
+	var stats Stats
+	stats.BestAvgCost = math.Inf(1)
+
+	if cfg.Chains == 1 {
+		if err := runChain(c, s, cfg, 0, rand.New(rand.NewSource(cfg.Seed)), &stats, nil); err != nil {
+			return nil, stats, err
+		}
+	} else {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, cfg.Chains)
+		for ch := 0; ch < cfg.Chains; ch++ {
+			wg.Add(1)
+			go func(ch int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(ch)*7919))
+				errs[ch] = runChain(c, s, cfg, ch, rng, &stats, &mu)
+			}(ch)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+
+	stats.FinalCoverage = s.Coverage()
+	stats.Duration = time.Since(start)
+	return s, stats, nil
+}
+
+// runChain executes one explorer chain. When mu is non-nil, structure
+// access and stats updates are serialized across chains.
+func runChain(c *netlist.Circuit, s *core.Structure, cfg Config, chain int, rng *rand.Rand, stats *Stats, mu *sync.Mutex) error {
+	lock := func() {
+		if mu != nil {
+			mu.Lock()
+		}
+	}
+	unlock := func() {
+		if mu != nil {
+			mu.Unlock()
+		}
+	}
+
+	// Placement Selector: initial random legal placement at minimum dims.
+	accepted, err := placement.RandomLegal(c, cfg.Floorplan, rng)
+	if err != nil {
+		return fmt.Errorf("explorer: %w", err)
+	}
+	acceptedCost := math.Inf(1)
+	temp := cfg.InitialTemp
+	cool := cfg.Cooling
+
+	iters := cfg.MaxIterations / maxInt(1, cfg.Chains)
+	if iters < 1 {
+		iters = 1
+	}
+	bcfg := cfg.BDIO
+	bcfg.Rand = rng
+
+	for it := 0; it < iters; it++ {
+		// Perturb Placement: the candidate's coordinates come from the last
+		// accepted placement (paper: "Otherwise, the last accepted placement
+		// is used"), moved with toroidal wrap. The first iteration explores
+		// the selector's placement unperturbed. The move radius cools with
+		// the annealing schedule so late iterations refine rather than
+		// teleport (standard SA practice; the paper leaves the move size to
+		// the user).
+		base := accepted.Clone()
+		if it > 0 {
+			shift := cfg.MaxShift
+			if iters > 1 {
+				frac := 1.0 - 0.9*float64(it)/float64(iters-1)
+				shift = int(float64(cfg.MaxShift) * frac)
+				if shift < 2 {
+					shift = 2
+				}
+			}
+			base.Perturb(c, cfg.Floorplan, rng, cfg.PerturbFraction, shift)
+		}
+
+		// Placement Expansion grows the candidate's intervals.
+		cand := base.Clone()
+		cand.ResetToMin(c)
+		cand.Expand(c, cfg.Floorplan, cfg.ExpandStep)
+
+		// Inner annealer: shrink intervals, attach costs.
+		res, err := bdio.Optimize(c, cand, cfg.Floorplan, cfg.Evaluator, bcfg)
+		if err != nil {
+			return fmt.Errorf("explorer: %w", err)
+		}
+
+		// Resolve Overlaps + Store Placement.
+		lock()
+		insert, err := s.Insert(cand.Clone())
+		if err != nil {
+			unlock()
+			return fmt.Errorf("explorer: %w", err)
+		}
+		stats.Iterations++
+		if insert.CandidateDied {
+			stats.CandidatesDied++
+		} else {
+			stats.Stored++
+		}
+		if res.AvgCost < stats.BestAvgCost {
+			stats.BestAvgCost = res.AvgCost
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(chain, it, s.NumPlacements())
+		}
+		stop := (cfg.MaxPlacements > 0 && s.NumPlacements() >= cfg.MaxPlacements) ||
+			(cfg.TargetCoverage > 0 && s.Coverage() >= cfg.TargetCoverage)
+		unlock()
+		if stop {
+			return nil
+		}
+
+		// Accept New Placement? — Metropolis on the BDIO average cost. On
+		// acceptance the candidate's coordinates seed future perturbations;
+		// on rejection the previous accepted placement is restored (it was
+		// never overwritten).
+		if temp == 0 {
+			temp = math.Max(1, 0.1*res.AvgCost) // first-iteration calibration
+		}
+		accept := res.AvgCost <= acceptedCost ||
+			rng.Float64() < math.Exp(-(res.AvgCost-acceptedCost)/temp)
+		if accept {
+			accepted = base
+			acceptedCost = res.AvgCost
+			lock()
+			stats.Accepted++
+			unlock()
+		}
+		temp *= cool
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package geom
+
+import "fmt"
+
+// Interval is an inclusive integer interval [Lo, Hi], matching the paper's
+// [wstart, wend] / [hstart, hend] dimension ranges. An Interval with
+// Hi < Lo is empty.
+type Interval struct {
+	Lo, Hi int
+}
+
+// NewInterval returns the inclusive interval [lo, hi].
+func NewInterval(lo, hi int) Interval { return Interval{lo, hi} }
+
+// Empty reports whether iv contains no integers.
+func (iv Interval) Empty() bool { return iv.Hi < iv.Lo }
+
+// Len returns the number of integers in iv (zero for empty intervals).
+func (iv Interval) Len() int {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo + 1
+}
+
+// Contains reports whether v lies in iv.
+func (iv Interval) Contains(v int) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// ContainsInterval reports whether iv contains the whole of other.
+// Every interval contains the empty interval.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if other.Empty() {
+		return true
+	}
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Overlaps reports whether iv and other share at least one integer.
+func (iv Interval) Overlaps(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return false
+	}
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Intersect returns the common part of iv and other (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	return Interval{max(iv.Lo, other.Lo), min(iv.Hi, other.Hi)}
+}
+
+// OverlapLen returns the number of integers shared by iv and other.
+func (iv Interval) OverlapLen(other Interval) int {
+	return iv.Intersect(other).Len()
+}
+
+// Clamp returns v limited to iv. Clamp panics on an empty interval because
+// there is no valid value to return.
+func (iv Interval) Clamp(v int) int {
+	if iv.Empty() {
+		panic(fmt.Sprintf("geom: Clamp on empty interval %v", iv))
+	}
+	if v < iv.Lo {
+		return iv.Lo
+	}
+	if v > iv.Hi {
+		return iv.Hi
+	}
+	return v
+}
+
+// SubtractResult holds the (up to two) pieces of an interval subtraction.
+type SubtractResult struct {
+	Left, Right Interval // either may be empty
+}
+
+// Subtract removes other from iv, returning the remaining left and right
+// pieces. If the intervals do not overlap, Left is iv and Right is empty.
+func (iv Interval) Subtract(other Interval) SubtractResult {
+	if !iv.Overlaps(other) {
+		return SubtractResult{Left: iv, Right: Interval{0, -1}}
+	}
+	return SubtractResult{
+		Left:  Interval{iv.Lo, other.Lo - 1},
+		Right: Interval{other.Hi + 1, iv.Hi},
+	}
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}

@@ -1,0 +1,234 @@
+package modgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mps/internal/circuits"
+)
+
+func TestMOSDimsMonotoneInW(t *testing.T) {
+	g := NewMOS(1, 500, 0.35, 2)
+	prevArea := 0
+	for _, W := range []float64{1, 5, 20, 80, 320} {
+		w, h := g.Dims([]float64{W, 0.5})
+		if w <= 0 || h <= 0 {
+			t.Fatalf("W=%g: non-positive dims %d x %d", W, w, h)
+		}
+		area := w * h
+		if area < prevArea {
+			t.Errorf("W=%g: area %d shrank below %d — area must grow with device width", W, area, prevArea)
+		}
+		prevArea = area
+	}
+}
+
+func TestMOSFoldingBoundsAspect(t *testing.T) {
+	g := NewMOS(1, 1000, 0.35, 2)
+	// A very wide device must be folded: aspect ratio stays within sane
+	// bounds rather than becoming a 1-finger sliver.
+	w, h := g.Dims([]float64{500, 0.5})
+	aspect := float64(w) / float64(h)
+	if aspect < 0.05 || aspect > 20 {
+		t.Errorf("aspect = %.2f for W=500, want folding to keep it in [0.05, 20]", aspect)
+	}
+}
+
+func TestMOSClampsParams(t *testing.T) {
+	g := NewMOS(2, 10, 0.35, 1)
+	wLo, hLo := g.Dims([]float64{-5, 0.1})
+	wMin, hMin := g.Dims([]float64{2, 0.35})
+	if wLo != wMin || hLo != hMin {
+		t.Errorf("out-of-range params not clamped: got %dx%d, want %dx%d", wLo, hLo, wMin, hMin)
+	}
+}
+
+func TestMatchedPairEvenFolds(t *testing.T) {
+	g := NewMatchedPair(1, 300, 0.35, 2)
+	for _, W := range []float64{1, 10, 50, 200} {
+		w, h := g.Dims([]float64{W, 0.5})
+		if w <= 0 || h <= 0 {
+			t.Fatalf("W=%g: non-positive dims", W)
+		}
+	}
+	// A pair is bigger than a single device of the same W/L.
+	single := NewMOS(1, 300, 0.35, 2)
+	sw, sh := single.Dims([]float64{50, 0.5})
+	pw, ph := g.Dims([]float64{50, 0.5})
+	if pw*ph <= sw*sh {
+		t.Errorf("pair area %d should exceed single-device area %d", pw*ph, sw*sh)
+	}
+}
+
+func TestMIMCapSquareAndMonotone(t *testing.T) {
+	g := NewMIMCap(0.1, 100)
+	prev := 0
+	for _, C := range []float64{0.1, 1, 10, 100} {
+		w, h := g.Dims([]float64{C})
+		if w != h {
+			t.Errorf("C=%g: MIM cap should be square, got %d x %d", C, w, h)
+		}
+		if w <= prev {
+			t.Errorf("C=%g: side %d did not grow beyond %d", C, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestPolyResGrowsWithR(t *testing.T) {
+	g := NewPolyRes(1, 1000)
+	aw, ah := g.Dims([]float64{1})
+	bw, bh := g.Dims([]float64{1000})
+	if bw*bh <= aw*ah {
+		t.Errorf("1MΩ resistor area %d should exceed 1kΩ area %d", bw*bh, aw*ah)
+	}
+}
+
+func TestScalableEndpoints(t *testing.T) {
+	g := &Scalable{WMin: 10, WMax: 50, HMin: 8, HMax: 24}
+	w, h := g.Dims([]float64{0})
+	if w != 10 || h != 8 {
+		t.Errorf("t=0: got %dx%d, want 10x8", w, h)
+	}
+	w, h = g.Dims([]float64{1})
+	if w != 50 || h != 24 {
+		t.Errorf("t=1: got %dx%d, want 50x24", w, h)
+	}
+	w, h = g.Dims([]float64{2}) // clamped
+	if w != 50 || h != 24 {
+		t.Errorf("t=2 should clamp to max, got %dx%d", w, h)
+	}
+}
+
+func TestScalableMonotoneProperty(t *testing.T) {
+	g := &Scalable{WMin: 5, WMax: 100, HMin: 5, HMax: 60, HExponent: 0.7}
+	f := func(a, b float64) bool {
+		ta, tb := FloatRange{0, 1}.Clamp(a), FloatRange{0, 1}.Clamp(b)
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		wa, ha := g.Dims([]float64{ta})
+		wb, hb := g.Dims([]float64{tb})
+		return wa <= wb && ha <= hb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultSizerCoversAllBlocks(t *testing.T) {
+	c := circuits.MustByName("Mixer")
+	s := DefaultSizer(c)
+	if s.NumVars() != c.N() {
+		t.Fatalf("NumVars = %d, want %d (one knob per block)", s.NumVars(), c.N())
+	}
+	x := make([]float64, s.NumVars())
+	for i := range x {
+		x[i] = 0.5
+	}
+	ws, hs, err := s.Dims(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, blk := range c.Blocks {
+		if !blk.WRange().Contains(ws[i]) || !blk.HRange().Contains(hs[i]) {
+			t.Errorf("block %d dims %dx%d outside bounds w%v h%v",
+				i, ws[i], hs[i], blk.WRange(), blk.HRange())
+		}
+	}
+}
+
+func TestSizerDimsAlwaysInBounds(t *testing.T) {
+	c := circuits.MustByName("TwoStageOpamp")
+	s, err := TwoStageOpampSizer(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	ranges := s.VarRanges()
+	for trial := 0; trial < 200; trial++ {
+		x := make([]float64, s.NumVars())
+		for i, r := range ranges {
+			x[i] = r.Lerp(rng.Float64()*1.4 - 0.2) // include out-of-range proposals
+		}
+		ws, hs, err := s.Dims(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, blk := range c.Blocks {
+			if !blk.WRange().Contains(ws[i]) || !blk.HRange().Contains(hs[i]) {
+				t.Fatalf("trial %d: block %d dims %dx%d out of bounds", trial, i, ws[i], hs[i])
+			}
+		}
+	}
+}
+
+func TestTwoStageOpampSizerVarCount(t *testing.T) {
+	c := circuits.MustByName("TwoStageOpamp")
+	s, err := TwoStageOpampSizer(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 9 {
+		t.Errorf("NumVars = %d, want 9", s.NumVars())
+	}
+	if got := len(s.VarRanges()); got != 9 {
+		t.Errorf("VarRanges len = %d, want 9", got)
+	}
+}
+
+func TestTwoStageOpampSizerWrongCircuit(t *testing.T) {
+	c := circuits.MustByName("Mixer")
+	if _, err := TwoStageOpampSizer(c); err == nil {
+		t.Error("TwoStageOpampSizer on Mixer should fail")
+	}
+}
+
+func TestNewSizerValidation(t *testing.T) {
+	c := circuits.MustByName("circ01") // 4 blocks
+	gen := func() Generator { return &Scalable{WMin: 1, WMax: 2, HMin: 1, HMax: 2} }
+
+	// Too few bindings.
+	if _, err := NewSizer(c, []Binding{{Block: 0, Gen: gen(), Offset: 0}}); err == nil {
+		t.Error("want error for missing bindings")
+	}
+	// Duplicate block.
+	dup := []Binding{
+		{Block: 0, Gen: gen(), Offset: 0},
+		{Block: 0, Gen: gen(), Offset: 1},
+		{Block: 2, Gen: gen(), Offset: 2},
+		{Block: 3, Gen: gen(), Offset: 3},
+	}
+	if _, err := NewSizer(c, dup); err == nil {
+		t.Error("want error for duplicate block binding")
+	}
+	// Overlapping offsets.
+	overlap := []Binding{
+		{Block: 0, Gen: gen(), Offset: 0},
+		{Block: 1, Gen: gen(), Offset: 0},
+		{Block: 2, Gen: gen(), Offset: 1},
+		{Block: 3, Gen: gen(), Offset: 2},
+	}
+	if _, err := NewSizer(c, overlap); err == nil {
+		t.Error("want error for overlapping offsets")
+	}
+}
+
+func TestSizerDimsWrongLength(t *testing.T) {
+	c := circuits.MustByName("circ01")
+	s := DefaultSizer(c)
+	if _, _, err := s.Dims([]float64{0.5}); err == nil {
+		t.Error("want error for short sizing vector")
+	}
+}
+
+func TestFloatRange(t *testing.T) {
+	r := FloatRange{2, 6}
+	if r.Clamp(0) != 2 || r.Clamp(10) != 6 || r.Clamp(3) != 3 {
+		t.Error("Clamp misbehaves")
+	}
+	if r.Lerp(0) != 2 || r.Lerp(1) != 6 || r.Lerp(0.5) != 4 {
+		t.Error("Lerp misbehaves")
+	}
+}

@@ -1,0 +1,147 @@
+package modgen
+
+import (
+	"fmt"
+
+	"mps/internal/netlist"
+)
+
+// Binding attaches a Generator to one block of a circuit, consuming a
+// contiguous slice of the global sizing vector starting at Offset.
+type Binding struct {
+	Block  int
+	Gen    Generator
+	Offset int
+}
+
+// Sizer translates a flat device-sizing vector into the per-block dimension
+// vector the multi-placement structure consumes (paper Fig. 1b: "Sizes ->
+// module generator functions -> widths and heights").
+type Sizer struct {
+	circuit  *netlist.Circuit
+	bindings []Binding
+	numVars  int
+}
+
+// NewSizer builds a Sizer from explicit bindings. Every block must be bound
+// exactly once and offsets must tile the vector without gaps or overlaps.
+func NewSizer(c *netlist.Circuit, bindings []Binding) (*Sizer, error) {
+	if len(bindings) != c.N() {
+		return nil, fmt.Errorf("modgen: %d bindings for %d blocks", len(bindings), c.N())
+	}
+	bound := make([]bool, c.N())
+	used := 0
+	for _, b := range bindings {
+		if b.Block < 0 || b.Block >= c.N() {
+			return nil, fmt.Errorf("modgen: binding references block %d (have %d)", b.Block, c.N())
+		}
+		if bound[b.Block] {
+			return nil, fmt.Errorf("modgen: block %d bound twice", b.Block)
+		}
+		bound[b.Block] = true
+		used += b.Gen.NumParams()
+	}
+	covered := make([]bool, used)
+	for _, b := range bindings {
+		for k := 0; k < b.Gen.NumParams(); k++ {
+			i := b.Offset + k
+			if i < 0 || i >= used {
+				return nil, fmt.Errorf("modgen: binding for block %d overflows sizing vector", b.Block)
+			}
+			if covered[i] {
+				return nil, fmt.Errorf("modgen: sizing variable %d consumed twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	return &Sizer{circuit: c, bindings: bindings, numVars: used}, nil
+}
+
+// DefaultSizer binds every block of c to a Scalable generator (one size knob
+// per block), the generic bridge used when no electrical model is available.
+func DefaultSizer(c *netlist.Circuit) *Sizer {
+	bindings := make([]Binding, c.N())
+	for i, blk := range c.Blocks {
+		bindings[i] = Binding{
+			Block:  i,
+			Gen:    &Scalable{WMin: blk.WMin, WMax: blk.WMax, HMin: blk.HMin, HMax: blk.HMax},
+			Offset: i,
+		}
+	}
+	s, err := NewSizer(c, bindings)
+	if err != nil {
+		panic(err) // construction above is correct by design
+	}
+	return s
+}
+
+// Circuit returns the bound circuit.
+func (s *Sizer) Circuit() *netlist.Circuit { return s.circuit }
+
+// NumVars returns the length of the sizing vector.
+func (s *Sizer) NumVars() int { return s.numVars }
+
+// VarRanges returns the legal range of each sizing variable.
+func (s *Sizer) VarRanges() []FloatRange {
+	out := make([]FloatRange, s.numVars)
+	for _, b := range s.bindings {
+		for k, r := range b.Gen.ParamRanges() {
+			out[b.Offset+k] = r
+		}
+	}
+	return out
+}
+
+// Dims maps the sizing vector x onto per-block dimensions, clamped into each
+// block's designer bounds [WMin,WMax] x [HMin,HMax]. The returned slices are
+// indexed by block.
+func (s *Sizer) Dims(x []float64) (ws, hs []int, err error) {
+	if len(x) != s.numVars {
+		return nil, nil, fmt.Errorf("modgen: sizing vector has %d vars, want %d", len(x), s.numVars)
+	}
+	ws = make([]int, s.circuit.N())
+	hs = make([]int, s.circuit.N())
+	for _, b := range s.bindings {
+		params := x[b.Offset : b.Offset+b.Gen.NumParams()]
+		if err := checkParams(b.Gen, params); err != nil {
+			return nil, nil, err
+		}
+		w, h := b.Gen.Dims(params)
+		blk := s.circuit.Blocks[b.Block]
+		ws[b.Block] = blk.WRange().Clamp(w)
+		hs[b.Block] = blk.HRange().Clamp(h)
+	}
+	return ws, hs, nil
+}
+
+// TwoStageOpampSizer returns a Sizer for the TwoStageOpamp benchmark with an
+// electrically meaningful variable set:
+//
+//	0: W1  diff-pair device width (µm)     [2, 200]
+//	1: L1  diff-pair length (µm)           [0.35, 2]
+//	2: W3  load mirror device width (µm)   [2, 150]
+//	3: L3  load mirror length (µm)         [0.35, 2]
+//	4: W5  tail source width (µm)          [2, 100]
+//	5: L5  tail source length (µm)         [0.35, 4]
+//	6: W6  output driver width (µm)        [4, 400]
+//	7: L6  output driver length (µm)       [0.35, 2]
+//	8: Cc  compensation capacitance (pF)   [0.5, 10]
+func TwoStageOpampSizer(c *netlist.Circuit) (*Sizer, error) {
+	need := []string{"DIFF", "LOAD", "TAIL", "DRV", "CC"}
+	idx := make(map[string]int, len(need))
+	for _, n := range need {
+		i := c.BlockIndex(n)
+		if i < 0 {
+			return nil, fmt.Errorf("modgen: circuit %q lacks block %q", c.Name, n)
+		}
+		idx[n] = i
+	}
+	bindings := []Binding{
+		{Block: idx["DIFF"], Gen: NewMatchedPair(2, 200, 0.35, 2), Offset: 0},
+		{Block: idx["LOAD"], Gen: NewMatchedPair(2, 150, 0.35, 2), Offset: 2},
+		{Block: idx["TAIL"], Gen: NewMOS(2, 100, 0.35, 4), Offset: 4},
+		{Block: idx["DRV"], Gen: NewMOS(4, 400, 0.35, 2), Offset: 6},
+		{Block: idx["CC"], Gen: NewMIMCap(0.5, 10), Offset: 8},
+	}
+	return NewSizer(c, bindings)
+}

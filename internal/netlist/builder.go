@@ -1,0 +1,98 @@
+package netlist
+
+import "fmt"
+
+// Builder incrementally assembles a Circuit with named blocks and nets,
+// turning name-based wiring into index-based pins. It is the convenient way
+// to author benchmark circuits.
+type Builder struct {
+	c    *Circuit
+	byName map[string]int
+	err  error
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		c:      &Circuit{Name: name},
+		byName: make(map[string]int),
+	}
+}
+
+// Block adds a block with the given dimension bounds and returns its index.
+// Duplicate names record an error surfaced by Build.
+func (b *Builder) Block(name string, wMin, wMax, hMin, hMax int) int {
+	if b.err != nil {
+		return -1
+	}
+	if _, dup := b.byName[name]; dup {
+		b.err = fmt.Errorf("netlist: duplicate block %q", name)
+		return -1
+	}
+	idx := len(b.c.Blocks)
+	b.c.Blocks = append(b.c.Blocks, &Block{
+		Name: name, WMin: wMin, WMax: wMax, HMin: hMin, HMax: hMax,
+	})
+	b.byName[name] = idx
+	return idx
+}
+
+// PinRef names one endpoint of a net while wiring by block name.
+type PinRef struct {
+	Block      string
+	FracX      float64
+	FracY      float64
+	IsTerminal bool
+}
+
+// P returns an internal pin reference at the center of the named block.
+func P(block string) PinRef { return PinRef{Block: block, FracX: 0.5, FracY: 0.5} }
+
+// PAt returns an internal pin reference at the given fractional offset.
+func PAt(block string, fx, fy float64) PinRef {
+	return PinRef{Block: block, FracX: fx, FracY: fy}
+}
+
+// T returns a terminal pin reference at the given fractional offset.
+func T(block string, fx, fy float64) PinRef {
+	return PinRef{Block: block, FracX: fx, FracY: fy, IsTerminal: true}
+}
+
+// Net adds a net connecting the given pin references.
+func (b *Builder) Net(name string, weight float64, pins ...PinRef) {
+	if b.err != nil {
+		return
+	}
+	net := &Net{Name: name, Weight: weight}
+	for _, pr := range pins {
+		idx, ok := b.byName[pr.Block]
+		if !ok {
+			b.err = fmt.Errorf("netlist: net %q references unknown block %q", name, pr.Block)
+			return
+		}
+		net.Pins = append(net.Pins, Pin{
+			Block: idx, FracX: pr.FracX, FracY: pr.FracY, IsTerminal: pr.IsTerminal,
+		})
+	}
+	b.c.Nets = append(b.c.Nets, net)
+}
+
+// Build validates and returns the assembled circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.c.Validate(); err != nil {
+		return nil, err
+	}
+	return b.c, nil
+}
+
+// MustBuild is Build that panics on error, for static benchmark definitions.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,71 @@
+package netlist
+
+import "fmt"
+
+// Analog layouts demand symmetric placement of matched devices: a
+// differential signal path works only if its two halves see mirrored
+// geometry. This file adds symmetry groups to circuits, the standard
+// constraint form of device-level placers (KOAN/ANAGRAM, LAYLA); the cost
+// package turns them into a soft penalty so every placer in this repository
+// (explorer, BDIO, optimization baseline) can honor them.
+
+// SymPair names two blocks that must mirror each other about the group's
+// vertical axis.
+type SymPair struct {
+	A, B int
+}
+
+// SymmetryGroup is a set of mirror pairs and self-symmetric blocks sharing
+// one vertical symmetry axis. The axis position is free; only relative
+// geometry is constrained.
+type SymmetryGroup struct {
+	Name string
+	// Pairs mirror about the axis at equal height.
+	Pairs []SymPair
+	// SelfSym blocks are centered on the axis.
+	SelfSym []int
+}
+
+// Blocks returns every block index referenced by the group.
+func (g *SymmetryGroup) Blocks() []int {
+	out := make([]int, 0, 2*len(g.Pairs)+len(g.SelfSym))
+	for _, p := range g.Pairs {
+		out = append(out, p.A, p.B)
+	}
+	out = append(out, g.SelfSym...)
+	return out
+}
+
+// Validate checks the group against a circuit with n blocks: indices in
+// range, no block referenced twice, and at least one constraint.
+func (g *SymmetryGroup) Validate(n int) error {
+	if len(g.Pairs) == 0 && len(g.SelfSym) == 0 {
+		return fmt.Errorf("netlist: symmetry group %q is empty", g.Name)
+	}
+	seen := make(map[int]bool)
+	for _, idx := range g.Blocks() {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("netlist: symmetry group %q references block %d (have %d)",
+				g.Name, idx, n)
+		}
+		if seen[idx] {
+			return fmt.Errorf("netlist: symmetry group %q references block %d twice", g.Name, idx)
+		}
+		seen[idx] = true
+	}
+	for _, p := range g.Pairs {
+		if p.A == p.B {
+			return fmt.Errorf("netlist: symmetry group %q pairs block %d with itself", g.Name, p.A)
+		}
+	}
+	return nil
+}
+
+// AddSymmetry registers a symmetry group on the circuit after validating it.
+func (c *Circuit) AddSymmetry(g *SymmetryGroup) error {
+	if err := g.Validate(c.N()); err != nil {
+		return err
+	}
+	c.Symmetries = append(c.Symmetries, g)
+	return nil
+}

@@ -1,0 +1,73 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func symCircuit() *Circuit {
+	b := NewBuilder("sym")
+	b.Block("l", 4, 10, 4, 10)
+	b.Block("r", 4, 10, 4, 10)
+	b.Block("mid", 4, 10, 4, 10)
+	b.Block("free", 4, 10, 4, 10)
+	b.Net("n", 1, P("l"), P("r"))
+	return b.MustBuild()
+}
+
+func TestAddSymmetryOK(t *testing.T) {
+	c := symCircuit()
+	g := &SymmetryGroup{
+		Name:    "g",
+		Pairs:   []SymPair{{A: 0, B: 1}},
+		SelfSym: []int{2},
+	}
+	if err := c.AddSymmetry(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Symmetries) != 1 {
+		t.Fatal("group not registered")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("circuit with symmetry failed Validate: %v", err)
+	}
+	got := g.Blocks()
+	if len(got) != 3 {
+		t.Errorf("Blocks() = %v, want 3 entries", got)
+	}
+}
+
+func TestSymmetryValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		g       *SymmetryGroup
+		wantErr string
+	}{
+		{"empty", &SymmetryGroup{Name: "g"}, "empty"},
+		{"out of range", &SymmetryGroup{Name: "g", SelfSym: []int{9}}, "references block 9"},
+		{"negative", &SymmetryGroup{Name: "g", SelfSym: []int{-1}}, "references block -1"},
+		{"duplicate across roles", &SymmetryGroup{Name: "g",
+			Pairs: []SymPair{{A: 0, B: 1}}, SelfSym: []int{0}}, "twice"},
+		{"self pair", &SymmetryGroup{Name: "g", Pairs: []SymPair{{A: 2, B: 2}}}, "twice"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := symCircuit().AddSymmetry(tc.g)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("AddSymmetry = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateCatchesCorruptedGroup(t *testing.T) {
+	c := symCircuit()
+	if err := c.AddSymmetry(&SymmetryGroup{Name: "g", SelfSym: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt after registration: Validate must catch it.
+	c.Symmetries[0].SelfSym[0] = 99
+	if err := c.Validate(); err == nil {
+		t.Error("Validate missed corrupted symmetry group")
+	}
+}

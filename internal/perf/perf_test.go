@@ -1,0 +1,129 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+// nominal returns a mid-range sizing point that should be electrically sane.
+func nominal() TwoStageParams {
+	return TwoStageParams{
+		W1: 60, L1: 0.5,
+		W3: 30, L3: 0.5,
+		W5: 20, L5: 1.0,
+		W6: 200, L6: 0.35,
+		CcPF:   2,
+		IbiasA: 50e-6,
+		CloadF: 2e-12,
+	}
+}
+
+func TestEvalTwoStageSaneValues(t *testing.T) {
+	p := EvalTwoStage(nominal(), 0, 0)
+	if p.GainDB < 40 || p.GainDB > 120 {
+		t.Errorf("GainDB = %g, want a plausible opamp gain", p.GainDB)
+	}
+	if p.GBWHz < 1e6 || p.GBWHz > 1e9 {
+		t.Errorf("GBW = %g Hz, want MHz-range", p.GBWHz)
+	}
+	if p.PhaseMarginDeg < 0 || p.PhaseMarginDeg > 90 {
+		t.Errorf("PM = %g deg, want in (0,90)", p.PhaseMarginDeg)
+	}
+	if p.PowerMW <= 0 || p.PowerMW > 10 {
+		t.Errorf("Power = %g mW, want sub-10mW", p.PowerMW)
+	}
+	if p.SlewVPerUs <= 0 {
+		t.Errorf("Slew = %g, want positive", p.SlewVPerUs)
+	}
+}
+
+func TestGBWIncreasesWithDiffPairWidth(t *testing.T) {
+	small := nominal()
+	big := nominal()
+	big.W1 *= 4
+	if EvalTwoStage(big, 0, 0).GBWHz <= EvalTwoStage(small, 0, 0).GBWHz {
+		t.Error("GBW should grow with diff-pair W (gm1 up)")
+	}
+}
+
+func TestGBWDecreasesWithCc(t *testing.T) {
+	smallCc := nominal()
+	bigCc := nominal()
+	bigCc.CcPF *= 4
+	if EvalTwoStage(bigCc, 0, 0).GBWHz >= EvalTwoStage(smallCc, 0, 0).GBWHz {
+		t.Error("GBW should fall as Cc grows")
+	}
+}
+
+// TestWireParasiticsDegradePerformance is the layout-in-the-loop property:
+// longer wires on the output and compensation nets must hurt phase margin
+// and GBW respectively.
+func TestWireParasiticsDegradePerformance(t *testing.T) {
+	clean := EvalTwoStage(nominal(), 0, 0)
+	loadedOut := EvalTwoStage(nominal(), 4000, 0)
+	if loadedOut.PhaseMarginDeg >= clean.PhaseMarginDeg {
+		t.Errorf("output wire cap should cost phase margin: %g vs %g",
+			loadedOut.PhaseMarginDeg, clean.PhaseMarginDeg)
+	}
+	loadedComp := EvalTwoStage(nominal(), 0, 4000)
+	if loadedComp.GBWHz >= clean.GBWHz {
+		t.Errorf("compensation wire cap should cost GBW: %g vs %g",
+			loadedComp.GBWHz, clean.GBWHz)
+	}
+}
+
+func TestGainIncreasesWithLength(t *testing.T) {
+	shortL := nominal()
+	longL := nominal()
+	longL.L1 *= 2
+	longL.L3 *= 2
+	// Longer L raises ro (lambda down), raising first-stage gain.
+	if EvalTwoStage(longL, 0, 0).GainDB <= EvalTwoStage(shortL, 0, 0).GainDB {
+		t.Error("gain should grow with channel length")
+	}
+}
+
+func TestSpecPenalty(t *testing.T) {
+	spec := Spec{MinGainDB: 60, MinGBWHz: 10e6, MinPMDeg: 45, MinSlewVUs: 5, MaxPowerMW: 5}
+	good := TwoStagePerf{GainDB: 70, GBWHz: 50e6, PhaseMarginDeg: 60, SlewVPerUs: 20, PowerMW: 1}
+	if pen := spec.Penalty(good); pen != 0 {
+		t.Errorf("good point penalty = %g, want 0", pen)
+	}
+	if !spec.Met(good) {
+		t.Error("good point should meet spec")
+	}
+	bad := good
+	bad.GainDB = 30
+	if pen := spec.Penalty(bad); pen <= 0 {
+		t.Error("gain shortfall should be penalized")
+	}
+	worse := bad
+	worse.GainDB = 10
+	if spec.Penalty(worse) <= spec.Penalty(bad) {
+		t.Error("penalty should grow with violation size")
+	}
+	hot := good
+	hot.PowerMW = 50
+	if spec.Penalty(hot) <= 0 {
+		t.Error("power excess should be penalized")
+	}
+}
+
+func TestParamsFromVector(t *testing.T) {
+	x := []float64{60, 0.5, 30, 0.5, 20, 1.0, 200, 0.35, 2}
+	p := ParamsFromVector(x)
+	if p.W1 != 60 || p.L6 != 0.35 || p.CcPF != 2 {
+		t.Errorf("ParamsFromVector mismapped: %+v", p)
+	}
+	if p.IbiasA <= 0 || p.CloadF <= 0 {
+		t.Error("fixed bias/load not set")
+	}
+}
+
+func TestDegenerateInputsDoNotBlowUp(t *testing.T) {
+	p := TwoStageParams{} // all zeros
+	got := EvalTwoStage(p, 0, 0)
+	if math.IsNaN(got.GainDB) || math.IsNaN(got.PhaseMarginDeg) {
+		t.Errorf("degenerate params produced NaN: %+v", got)
+	}
+}

@@ -1,0 +1,142 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"mps/internal/geom"
+	"mps/internal/netlist"
+)
+
+// marginCircuit returns two fixed-size blocks where block "a" demands a
+// 3-unit spacing halo.
+func marginCircuit() *netlist.Circuit {
+	b := netlist.NewBuilder("halo")
+	b.Block("a", 10, 10, 10, 10)
+	b.Block("b", 10, 10, 10, 10)
+	c := b.MustBuild()
+	c.Blocks[0].Margin = 3
+	return c
+}
+
+func TestCheckLegalEnforcesClearance(t *testing.T) {
+	c := marginCircuit()
+	fp := geom.NewRect(0, 0, 100, 100)
+	p := New(c)
+
+	// Abutting blocks: legal without margins, illegal with a=3.
+	p.X = []int{0, 10}
+	p.Y = []int{0, 0}
+	if err := p.CheckLegal(fp); err == nil {
+		t.Error("abutting blocks should violate the 3-unit halo")
+	}
+	// Two units apart: still inside the halo.
+	p.X = []int{0, 12}
+	if err := p.CheckLegal(fp); err == nil {
+		t.Error("2-unit gap should violate the 3-unit halo")
+	}
+	// Three units apart: exactly at clearance (inflated rect abuts).
+	p.X = []int{0, 13}
+	if err := p.CheckLegal(fp); err != nil {
+		t.Errorf("3-unit gap should satisfy the halo: %v", err)
+	}
+}
+
+func TestClearanceIsMaxOfPair(t *testing.T) {
+	b := netlist.NewBuilder("pairhalo")
+	b.Block("a", 5, 5, 5, 5)
+	b.Block("b", 5, 5, 5, 5)
+	c := b.MustBuild()
+	c.Blocks[0].Margin = 1
+	c.Blocks[1].Margin = 4
+	p := New(c)
+	if got := p.clearance(0, 1); got != 4 {
+		t.Errorf("clearance = %d, want max(1,4) = 4", got)
+	}
+}
+
+func TestExpandStopsAtHalo(t *testing.T) {
+	b := netlist.NewBuilder("expandhalo")
+	b.Block("a", 4, 50, 4, 4)
+	b.Block("b", 4, 4, 4, 4)
+	c := b.MustBuild()
+	c.Blocks[0].Margin = 5
+	fp := geom.NewRect(0, 0, 100, 100)
+	p := New(c)
+	p.X = []int{0, 30}
+	p.Y = []int{0, 0}
+	p.Expand(c, fp, 1)
+	// Block a grows rightward from x=0 toward b at x=30; it must stop 5
+	// units short: max width 30 - 5 = 25.
+	if p.WHi[0] > 25 {
+		t.Errorf("expanded width %d enters the 5-unit halo before x=30", p.WHi[0])
+	}
+	if p.WHi[0] < 20 {
+		t.Errorf("expanded width %d stopped unreasonably early", p.WHi[0])
+	}
+}
+
+func TestRandomLegalRespectsHalos(t *testing.T) {
+	c := marginCircuit()
+	fp := geom.NewRect(0, 0, 60, 60)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		p, err := RandomLegal(c, fp, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckLegal(fp); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPerturbRespectsHalos(t *testing.T) {
+	c := marginCircuit()
+	fp := geom.NewRect(0, 0, 60, 60)
+	rng := rand.New(rand.NewSource(4))
+	p, err := RandomLegal(c, fp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		p.Perturb(c, fp, rng, 1.0, 20)
+		if err := p.CheckLegal(fp); err != nil {
+			t.Fatalf("perturb %d: %v", i, err)
+		}
+	}
+}
+
+func TestCloneCopiesMargins(t *testing.T) {
+	c := marginCircuit()
+	p := New(c)
+	q := p.Clone()
+	if q.clearance(0, 1) != 3 {
+		t.Error("clone lost margins")
+	}
+	q.margins[0] = 9
+	if p.margins[0] == 9 {
+		t.Error("clone shares margin slice")
+	}
+}
+
+func TestMarginFreeCircuitHasNilMargins(t *testing.T) {
+	b := netlist.NewBuilder("plain")
+	b.Block("a", 4, 8, 4, 8)
+	b.Block("b", 4, 8, 4, 8)
+	c := b.MustBuild()
+	p := New(c)
+	if p.margins != nil {
+		t.Error("zero-margin circuit should not allocate margin slice")
+	}
+	if p.clearance(0, 1) != 0 {
+		t.Error("clearance should be 0 without margins")
+	}
+}
+
+func TestNegativeMarginRejected(t *testing.T) {
+	blk := &netlist.Block{Name: "x", WMin: 1, WMax: 2, HMin: 1, HMax: 2, Margin: -1}
+	if err := blk.Validate(); err == nil {
+		t.Error("negative margin should fail validation")
+	}
+}

@@ -1,0 +1,144 @@
+// Package render draws instantiated floorplans as ASCII art (for terminal
+// output and golden tests) and SVG (for files) — how this reproduction
+// regenerates the layout plots of the paper's Figures 5 and 7.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mps/internal/cost"
+	"mps/internal/geom"
+)
+
+// ASCIIOptions controls text rendering.
+type ASCIIOptions struct {
+	// Width is the target character-grid width. Default 64.
+	Width int
+	// ShowLegend appends a block-name legend under the grid. Default on
+	// via Legend=true in DefaultASCII.
+	ShowLegend bool
+}
+
+// DefaultASCII is the standard terminal rendering size.
+var DefaultASCII = ASCIIOptions{Width: 64, ShowLegend: true}
+
+// blockGlyphs are assigned to blocks in index order.
+const blockGlyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// ASCII renders the layout as a character grid. Each block is filled with
+// its glyph; '.' is empty floorplan; '?' marks cells claimed by two blocks
+// (impossible for legal layouts, kept visible for debugging).
+func ASCII(l *cost.Layout, opts ASCIIOptions) string {
+	if opts.Width <= 0 {
+		opts.Width = 64
+	}
+	fp := l.Floorplan
+	if fp.Empty() {
+		var bb geom.Rect
+		for i := range l.Circuit.Blocks {
+			bb = bb.Union(l.BlockRect(i))
+		}
+		fp = bb
+	}
+	if fp.Empty() {
+		return "(empty layout)\n"
+	}
+	scale := float64(opts.Width) / float64(fp.W())
+	gw := opts.Width
+	gh := int(float64(fp.H())*scale*0.5 + 0.5) // terminal cells are ~2:1
+	if gh < 1 {
+		gh = 1
+	}
+	grid := make([][]byte, gh)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", gw))
+	}
+	for i := range l.Circuit.Blocks {
+		r := l.BlockRect(i)
+		glyph := blockGlyphs[i%len(blockGlyphs)]
+		x0 := int(float64(r.X0-fp.X0) * scale)
+		x1 := int(float64(r.X1-fp.X0) * scale)
+		y0 := int(float64(r.Y0-fp.Y0) * scale * 0.5)
+		y1 := int(float64(r.Y1-fp.Y0) * scale * 0.5)
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		for gy := y0; gy < y1 && gy < gh; gy++ {
+			row := grid[gh-1-gy] // y grows upward; rows print downward
+			for gx := x0; gx < x1 && gx < gw; gx++ {
+				if row[gx] == '.' {
+					row[gx] = glyph
+				} else if row[gx] != glyph {
+					row[gx] = '?'
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", gw))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s|\n", row)
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", gw))
+	if opts.ShowLegend {
+		type entry struct {
+			glyph byte
+			name  string
+			rect  geom.Rect
+		}
+		entries := make([]entry, 0, len(l.Circuit.Blocks))
+		for i, blk := range l.Circuit.Blocks {
+			entries = append(entries, entry{blockGlyphs[i%len(blockGlyphs)], blk.Name, l.BlockRect(i)})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].glyph < entries[j].glyph })
+		for _, e := range entries {
+			fmt.Fprintf(&b, "  %c %-12s %2dx%-2d at (%d,%d)\n",
+				e.glyph, e.name, e.rect.W(), e.rect.H(), e.rect.X0, e.rect.Y0)
+		}
+	}
+	return b.String()
+}
+
+// SVG renders the layout as a standalone SVG document with labelled block
+// rectangles and a floorplan frame.
+func SVG(l *cost.Layout) string {
+	fp := l.Floorplan
+	if fp.Empty() {
+		for i := range l.Circuit.Blocks {
+			fp = fp.Union(l.BlockRect(i))
+		}
+	}
+	const px = 4 // pixels per layout unit
+	w, h := fp.W()*px, fp.H()*px
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		w, h, w, h)
+	fmt.Fprintf(&b, `  <rect x="0" y="0" width="%d" height="%d" fill="white" stroke="black" stroke-width="2"/>`+"\n", w, h)
+	palette := []string{
+		"#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+		"#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f",
+	}
+	for i, blk := range l.Circuit.Blocks {
+		r := l.BlockRect(i)
+		// SVG y grows downward; layout y grows upward.
+		x := (r.X0 - fp.X0) * px
+		y := (fp.Y1 - r.Y1) * px
+		fill := palette[i%len(palette)]
+		fmt.Fprintf(&b, `  <rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="black"/>`+"\n",
+			x, y, r.W()*px, r.H()*px, fill)
+		fmt.Fprintf(&b, `  <text x="%d" y="%d" font-size="%d" font-family="monospace">%s</text>`+"\n",
+			x+2, y+min(r.H()*px-2, 14), 12, xmlEscape(blk.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,150 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"mps/internal/circuits"
+	"mps/internal/cost"
+	"mps/internal/geom"
+	"mps/internal/netlist"
+)
+
+func sampleLayout() *cost.Layout {
+	b := netlist.NewBuilder("sample")
+	b.Block("alpha", 10, 10, 10, 10)
+	b.Block("beta", 20, 20, 10, 10)
+	b.Net("n", 1, netlist.P("alpha"), netlist.P("beta"))
+	c := b.MustBuild()
+	return &cost.Layout{
+		Circuit:   c,
+		X:         []int{0, 30},
+		Y:         []int{0, 40},
+		W:         []int{10, 20},
+		H:         []int{10, 10},
+		Floorplan: geom.NewRect(0, 0, 60, 60),
+	}
+}
+
+func TestASCIIContainsBlocksAndLegend(t *testing.T) {
+	out := ASCII(sampleLayout(), DefaultASCII)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Errorf("block glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if strings.Contains(out, "?") {
+		t.Errorf("legal layout rendered overlap markers:\n%s", out)
+	}
+}
+
+func TestASCIIGridFramed(t *testing.T) {
+	out := ASCII(sampleLayout(), ASCIIOptions{Width: 40})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "+") || !strings.HasPrefix(lines[len(lines)-1], "+") {
+		t.Errorf("missing frame:\n%s", out)
+	}
+	for _, ln := range lines[1 : len(lines)-1] {
+		if len(ln) != 42 { // | + 40 + |
+			t.Errorf("ragged row %q (len %d)", ln, len(ln))
+		}
+	}
+}
+
+func TestASCIIOverlapMarked(t *testing.T) {
+	l := sampleLayout()
+	l.X[1], l.Y[1] = 2, 2 // force overlap
+	out := ASCII(l, ASCIIOptions{Width: 40})
+	if !strings.Contains(out, "?") {
+		t.Errorf("overlapping blocks must be marked:\n%s", out)
+	}
+}
+
+func TestASCIIPositionsReflectCoordinates(t *testing.T) {
+	l := sampleLayout()
+	out := ASCII(l, ASCIIOptions{Width: 60})
+	lines := strings.Split(out, "\n")
+	// Block A is at the bottom-left: its glyph must appear in a lower row
+	// than block B (which sits at y=40, near the top).
+	var rowA, rowB = -1, -1
+	for i, ln := range lines {
+		if strings.Contains(ln, "A") && rowA < 0 {
+			rowA = i
+		}
+		if strings.Contains(ln, "B") && rowB < 0 {
+			rowB = i
+		}
+	}
+	if rowA < 0 || rowB < 0 {
+		t.Fatalf("glyphs not found:\n%s", out)
+	}
+	if rowB > rowA {
+		t.Errorf("block B (higher y) rendered below block A:\n%s", out)
+	}
+}
+
+func TestASCIIEmptyFloorplanFallsBackToBBox(t *testing.T) {
+	l := sampleLayout()
+	l.Floorplan = geom.Rect{}
+	out := ASCII(l, ASCIIOptions{Width: 30})
+	if !strings.Contains(out, "A") {
+		t.Errorf("bbox fallback failed:\n%s", out)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := SVG(sampleLayout())
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Errorf("not an svg document:\n%s", out)
+	}
+	// One frame + two block rects.
+	if got := strings.Count(out, "<rect"); got != 3 {
+		t.Errorf("rect count = %d, want 3", got)
+	}
+	if !strings.Contains(out, "alpha") {
+		t.Error("block label missing")
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	l := sampleLayout()
+	l.Circuit.Blocks[0].Name = `<weird&"name>`
+	out := SVG(l)
+	if strings.Contains(out, `<weird`) {
+		t.Error("unescaped block name in SVG")
+	}
+	if !strings.Contains(out, "&lt;weird&amp;&quot;name&gt;") {
+		t.Errorf("expected escaped name, got:\n%s", out)
+	}
+}
+
+func TestRenderRealBenchmark(t *testing.T) {
+	c := circuits.MustByName("TwoStageOpamp")
+	n := c.N()
+	l := &cost.Layout{
+		Circuit:   c,
+		X:         make([]int, n),
+		Y:         make([]int, n),
+		W:         make([]int, n),
+		H:         make([]int, n),
+		Floorplan: geom.NewRect(0, 0, 200, 200),
+	}
+	x := 0
+	for i, b := range c.Blocks {
+		l.X[i], l.Y[i] = x, 0
+		l.W[i], l.H[i] = b.WMin, b.HMin
+		x += b.WMin + 2
+	}
+	ascii := ASCII(l, DefaultASCII)
+	if len(ascii) == 0 || strings.Contains(ascii, "?") {
+		t.Errorf("bad render:\n%s", ascii)
+	}
+	svg := SVG(l)
+	if strings.Count(svg, "<rect") != n+1 {
+		t.Errorf("svg rect count = %d, want %d", strings.Count(svg, "<rect"), n+1)
+	}
+}

@@ -1,0 +1,267 @@
+// Package route estimates the routing of a placed circuit — the "Routing"
+// and "Circuit Extraction" boxes of the paper's Figure 1b synthesis loop.
+//
+// Nets are routed as rectilinear spanning trees (Prim on Manhattan
+// distance, each edge realized as an L-shape), pad-stub nets as a straight
+// run to the nearest floorplan edge. On top of the routes the package
+// offers a grid congestion estimate and per-net RC extraction, which is the
+// parasitic input the perf models consume. Everything here is an estimator:
+// fast enough to sit inside a sizing loop, faithful enough to rank
+// placements the way a detailed router would.
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"mps/internal/cost"
+	"mps/internal/geom"
+)
+
+// Segment is one rectilinear wire piece; A and B share an x or y.
+type Segment struct {
+	A, B geom.Point
+}
+
+// Len returns the Manhattan length of the segment.
+func (s Segment) Len() int { return s.A.ManhattanDist(s.B) }
+
+// NetRoute is the estimated route of one net.
+type NetRoute struct {
+	Length   int
+	Segments []Segment
+}
+
+// Estimate holds the routing estimate of a whole layout.
+type Estimate struct {
+	Nets  []NetRoute
+	Total int64
+}
+
+// EstimateNets routes every net of the layout. Multi-pin nets use a
+// rectilinear minimum spanning tree over the pin positions; single-pin
+// terminal nets run to the nearest floorplan edge.
+func EstimateNets(l *cost.Layout) Estimate {
+	est := Estimate{Nets: make([]NetRoute, len(l.Circuit.Nets))}
+	for ni, net := range l.Circuit.Nets {
+		pts := make([]geom.Point, len(net.Pins))
+		for pi, p := range net.Pins {
+			pts[pi] = p.Position(l.X[p.Block], l.Y[p.Block], l.W[p.Block], l.H[p.Block])
+		}
+		var nr NetRoute
+		if len(pts) == 1 {
+			if net.Pins[0].IsTerminal {
+				nr = padStub(pts[0], l.Floorplan)
+			}
+		} else {
+			nr = spanningRoute(pts)
+		}
+		est.Nets[ni] = nr
+		est.Total += int64(nr.Length)
+	}
+	return est
+}
+
+// spanningRoute builds a Manhattan MST over the points (Prim) and realizes
+// each tree edge as an L-shaped pair of segments.
+func spanningRoute(pts []geom.Point) NetRoute {
+	n := len(pts)
+	inTree := make([]bool, n)
+	dist := make([]int, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = math.MaxInt
+		parent[i] = -1
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		dist[i] = pts[0].ManhattanDist(pts[i])
+		parent[i] = 0
+	}
+	var nr NetRoute
+	for added := 1; added < n; added++ {
+		best := -1
+		for i := 0; i < n; i++ {
+			if !inTree[i] && (best < 0 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		nr.Segments = append(nr.Segments, lRoute(pts[parent[best]], pts[best])...)
+		nr.Length += dist[best]
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := pts[best].ManhattanDist(pts[i]); d < dist[i] {
+					dist[i] = d
+					parent[i] = best
+				}
+			}
+		}
+	}
+	return nr
+}
+
+// lRoute connects two points with at most two rectilinear segments
+// (horizontal first).
+func lRoute(a, b geom.Point) []Segment {
+	if a == b {
+		return nil
+	}
+	corner := geom.Point{X: b.X, Y: a.Y}
+	segs := make([]Segment, 0, 2)
+	if a.X != b.X {
+		segs = append(segs, Segment{A: a, B: corner})
+	}
+	if a.Y != b.Y {
+		segs = append(segs, Segment{A: corner, B: b})
+	}
+	return segs
+}
+
+// padStub routes a terminal pin straight to the nearest floorplan edge.
+func padStub(p geom.Point, fp geom.Rect) NetRoute {
+	if fp.Empty() || !fp.ContainsPoint(p) {
+		return NetRoute{}
+	}
+	type exit struct {
+		d  int
+		to geom.Point
+	}
+	exits := []exit{
+		{p.X - fp.X0, geom.Point{X: fp.X0, Y: p.Y}},
+		{fp.X1 - p.X, geom.Point{X: fp.X1, Y: p.Y}},
+		{p.Y - fp.Y0, geom.Point{X: p.X, Y: fp.Y0}},
+		{fp.Y1 - p.Y, geom.Point{X: p.X, Y: fp.Y1}},
+	}
+	best := exits[0]
+	for _, e := range exits[1:] {
+		if e.d < best.d {
+			best = e
+		}
+	}
+	if best.d == 0 {
+		return NetRoute{}
+	}
+	return NetRoute{Length: best.d, Segments: []Segment{{A: p, B: best.to}}}
+}
+
+// CongestionGrid is a routing-demand raster over the floorplan.
+type CongestionGrid struct {
+	BinsX, BinsY int
+	// Demand[y*BinsX+x] is the wire length crossing bin (x, y).
+	Demand []float64
+	// Capacity is the per-bin routing capacity (track length).
+	Capacity float64
+	fp       geom.Rect
+}
+
+// Congestion rasterizes the estimate onto a bins x bins grid. Capacity per
+// bin is the bin's half-perimeter times a two-layer track density of one
+// track per unit — a coarse but consistent yardstick.
+func Congestion(l *cost.Layout, est Estimate, bins int) (*CongestionGrid, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("route: bins must be positive, got %d", bins)
+	}
+	fp := l.Floorplan
+	if fp.Empty() {
+		return nil, fmt.Errorf("route: layout has no floorplan")
+	}
+	g := &CongestionGrid{
+		BinsX:  bins,
+		BinsY:  bins,
+		Demand: make([]float64, bins*bins),
+		fp:     fp,
+	}
+	binW := float64(fp.W()) / float64(bins)
+	binH := float64(fp.H()) / float64(bins)
+	g.Capacity = binW + binH
+	for _, nr := range est.Nets {
+		for _, seg := range nr.Segments {
+			g.addSegment(seg, binW, binH)
+		}
+	}
+	return g, nil
+}
+
+// addSegment distributes a rectilinear segment's length over the bins it
+// crosses.
+func (g *CongestionGrid) addSegment(s Segment, binW, binH float64) {
+	steps := s.Len()
+	if steps == 0 {
+		return
+	}
+	dx := float64(s.B.X-s.A.X) / float64(steps)
+	dy := float64(s.B.Y-s.A.Y) / float64(steps)
+	for k := 0; k < steps; k++ {
+		x := float64(s.A.X-g.fp.X0) + dx*(float64(k)+0.5)
+		y := float64(s.A.Y-g.fp.Y0) + dy*(float64(k)+0.5)
+		bx := int(x / binW)
+		by := int(y / binH)
+		if bx < 0 {
+			bx = 0
+		}
+		if bx >= g.BinsX {
+			bx = g.BinsX - 1
+		}
+		if by < 0 {
+			by = 0
+		}
+		if by >= g.BinsY {
+			by = g.BinsY - 1
+		}
+		g.Demand[by*g.BinsX+bx]++
+	}
+}
+
+// MaxUtilization returns the worst bin's demand/capacity ratio.
+func (g *CongestionGrid) MaxUtilization() float64 {
+	maxD := 0.0
+	for _, d := range g.Demand {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if g.Capacity == 0 {
+		return 0
+	}
+	return maxD / g.Capacity
+}
+
+// OverflowBins counts bins whose demand exceeds capacity.
+func (g *CongestionGrid) OverflowBins() int {
+	n := 0
+	for _, d := range g.Demand {
+		if d > g.Capacity {
+			n++
+		}
+	}
+	return n
+}
+
+// RC is the extracted parasitic of one net.
+type RC struct {
+	ROhm float64
+	CF   float64
+}
+
+// Extraction constants for a generic 0.35µm-class metal stack: one layout
+// unit (0.25 µm) of minimum-width wire.
+const (
+	ROhmPerUnit = 0.02e0   // ~0.08 Ω/µm -> per 0.25 µm unit
+	CFPerUnit   = 0.05e-15 // ~0.2 fF/µm -> per 0.25 µm unit
+	CPinF       = 0.5e-15  // per-pin loading
+)
+
+// ExtractRC converts routed lengths into lumped per-net parasitics —
+// the "Circuit Extraction" step feeding the performance models.
+func ExtractRC(l *cost.Layout, est Estimate) []RC {
+	out := make([]RC, len(est.Nets))
+	for i, nr := range est.Nets {
+		pins := len(l.Circuit.Nets[i].Pins)
+		out[i] = RC{
+			ROhm: float64(nr.Length) * ROhmPerUnit,
+			CF:   float64(nr.Length)*CFPerUnit + float64(pins)*CPinF,
+		}
+	}
+	return out
+}

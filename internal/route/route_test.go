@@ -1,0 +1,267 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"mps/internal/circuits"
+	"mps/internal/cost"
+	"mps/internal/geom"
+	"mps/internal/netlist"
+	"mps/internal/placement"
+)
+
+// gridLayout places the named benchmark's blocks on a simple grid.
+func gridLayout(t *testing.T, name string) *cost.Layout {
+	t.Helper()
+	c := circuits.MustByName(name)
+	fp := placement.DefaultFloorplan(c)
+	n := c.N()
+	l := &cost.Layout{
+		Circuit:   c,
+		X:         make([]int, n),
+		Y:         make([]int, n),
+		W:         make([]int, n),
+		H:         make([]int, n),
+		Floorplan: fp,
+	}
+	cols := 3
+	x, y, rowH := 0, 0, 0
+	for i, b := range c.Blocks {
+		if i%cols == 0 && i > 0 {
+			x = 0
+			y += rowH + 2
+			rowH = 0
+		}
+		l.X[i], l.Y[i] = x, y
+		l.W[i], l.H[i] = b.WMin, b.HMin
+		x += b.WMin + 2
+		if b.HMin > rowH {
+			rowH = b.HMin
+		}
+	}
+	return l
+}
+
+func TestLRoute(t *testing.T) {
+	a, b := geom.Point{X: 0, Y: 0}, geom.Point{X: 5, Y: 7}
+	segs := lRoute(a, b)
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	total := segs[0].Len() + segs[1].Len()
+	if total != a.ManhattanDist(b) {
+		t.Errorf("L-route length %d != Manhattan distance %d", total, a.ManhattanDist(b))
+	}
+	if got := lRoute(a, a); got != nil {
+		t.Errorf("coincident points should need no segments, got %v", got)
+	}
+	horiz := lRoute(geom.Point{X: 0, Y: 3}, geom.Point{X: 9, Y: 3})
+	if len(horiz) != 1 {
+		t.Errorf("axis-aligned points should need 1 segment, got %d", len(horiz))
+	}
+}
+
+func TestSpanningRouteMatchesMSTLength(t *testing.T) {
+	// Three collinear points: MST length = end-to-end distance.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 4, Y: 0}}
+	nr := spanningRoute(pts)
+	if nr.Length != 10 {
+		t.Errorf("collinear MST length = %d, want 10", nr.Length)
+	}
+	// Square corners: MST = 3 sides.
+	pts = []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}, {X: 10, Y: 10}}
+	nr = spanningRoute(pts)
+	if nr.Length != 30 {
+		t.Errorf("square MST length = %d, want 30", nr.Length)
+	}
+}
+
+// TestSpanningRouteAtLeastHPWL: a spanning tree can never beat the
+// half-perimeter bound; for 2-pin nets the two coincide.
+func TestSpanningRouteAtLeastHPWL(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Intn(100), Y: rng.Intn(100)}
+		}
+		nr := spanningRoute(pts)
+		hp := geom.HPWL(pts)
+		if nr.Length < hp {
+			t.Fatalf("MST %d beat HPWL %d for %v", nr.Length, hp, pts)
+		}
+		if n == 2 && nr.Length != hp {
+			t.Fatalf("2-pin MST %d != HPWL %d", nr.Length, hp)
+		}
+	}
+}
+
+func TestSegmentsSumToRouteLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Intn(50), Y: rng.Intn(50)}
+		}
+		nr := spanningRoute(pts)
+		sum := 0
+		for _, s := range nr.Segments {
+			if s.A.X != s.B.X && s.A.Y != s.B.Y {
+				t.Fatalf("non-rectilinear segment %v", s)
+			}
+			sum += s.Len()
+		}
+		if sum != nr.Length {
+			t.Fatalf("segment sum %d != length %d", sum, nr.Length)
+		}
+	}
+}
+
+func TestEstimateNetsOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"TwoStageOpamp", "Mixer", "tso-cascode"} {
+		t.Run(name, func(t *testing.T) {
+			l := gridLayout(t, name)
+			est := EstimateNets(l)
+			if len(est.Nets) != len(l.Circuit.Nets) {
+				t.Fatalf("routed %d nets, want %d", len(est.Nets), len(l.Circuit.Nets))
+			}
+			if est.Total <= 0 {
+				t.Error("zero total routed length on a placed benchmark")
+			}
+			// Each routed net must be >= its HPWL.
+			hpwl := cost.NetLengths(l)
+			for i, nr := range est.Nets {
+				if nr.Length < hpwl[i] {
+					t.Errorf("net %d routed %d below HPWL %d", i, nr.Length, hpwl[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPadStub(t *testing.T) {
+	fp := geom.NewRect(0, 0, 100, 50)
+	nr := padStub(geom.Point{X: 10, Y: 25}, fp)
+	if nr.Length != 10 {
+		t.Errorf("pad stub length = %d, want 10 (left edge)", nr.Length)
+	}
+	if len(nr.Segments) != 1 {
+		t.Errorf("pad stub segments = %d, want 1", len(nr.Segments))
+	}
+	if nr := padStub(geom.Point{X: 500, Y: 500}, fp); nr.Length != 0 {
+		t.Error("outside point should not route")
+	}
+}
+
+func TestCongestionAccounting(t *testing.T) {
+	l := gridLayout(t, "Mixer")
+	est := EstimateNets(l)
+	g, err := Congestion(l, est, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var demand float64
+	for _, d := range g.Demand {
+		demand += d
+	}
+	if int64(demand) != est.Total {
+		t.Errorf("binned demand %d != total routed length %d", int64(demand), est.Total)
+	}
+	if g.MaxUtilization() < 0 {
+		t.Error("negative utilization")
+	}
+	if g.OverflowBins() < 0 || g.OverflowBins() > g.BinsX*g.BinsY {
+		t.Error("overflow bin count out of range")
+	}
+}
+
+func TestCongestionValidation(t *testing.T) {
+	l := gridLayout(t, "circ01")
+	est := EstimateNets(l)
+	if _, err := Congestion(l, est, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	l.Floorplan = geom.Rect{}
+	if _, err := Congestion(l, est, 4); err == nil {
+		t.Error("missing floorplan should error")
+	}
+}
+
+// TestCongestionSpreadsWithSpacing: spreading blocks apart increases routed
+// length but should lower peak bin utilization relative to demand.
+func TestCongestionDetectsHotspot(t *testing.T) {
+	b := netlist.NewBuilder("hot")
+	b.Block("a", 4, 4, 4, 4)
+	b.Block("c", 4, 4, 4, 4)
+	for i := 0; i < 6; i++ {
+		b.Net("n"+string(rune('0'+i)), 1, netlist.P("a"), netlist.P("c"))
+	}
+	c := b.MustBuild()
+	l := &cost.Layout{
+		Circuit:   c,
+		X:         []int{0, 90},
+		Y:         []int{48, 48},
+		W:         []int{4, 4},
+		H:         []int{4, 4},
+		Floorplan: geom.NewRect(0, 0, 100, 100),
+	}
+	est := EstimateNets(l)
+	g, err := Congestion(l, est, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six identical parallel routes through the middle row: the hot bins
+	// must carry ~6x the length of a single crossing.
+	if g.MaxUtilization() <= 0 {
+		t.Error("hotspot not detected")
+	}
+}
+
+func TestExtractRC(t *testing.T) {
+	l := gridLayout(t, "TwoStageOpamp")
+	est := EstimateNets(l)
+	rcs := ExtractRC(l, est)
+	if len(rcs) != len(l.Circuit.Nets) {
+		t.Fatalf("extracted %d nets, want %d", len(rcs), len(l.Circuit.Nets))
+	}
+	for i, rc := range rcs {
+		pins := len(l.Circuit.Nets[i].Pins)
+		minC := float64(pins) * CPinF
+		if rc.CF < minC {
+			t.Errorf("net %d: C %g below pin loading %g", i, rc.CF, minC)
+		}
+		if rc.ROhm < 0 {
+			t.Errorf("net %d: negative resistance", i)
+		}
+		if est.Nets[i].Length > 0 && rc.ROhm == 0 {
+			t.Errorf("net %d: routed wire with zero resistance", i)
+		}
+	}
+}
+
+// TestLongerRoutesExtractMoreC is the parasitic monotonicity the synthesis
+// loop relies on.
+func TestLongerRoutesExtractMoreC(t *testing.T) {
+	mk := func(gap int) float64 {
+		b := netlist.NewBuilder("pair")
+		b.Block("a", 4, 4, 4, 4)
+		b.Block("c", 4, 4, 4, 4)
+		b.Net("n", 1, netlist.P("a"), netlist.P("c"))
+		cir := b.MustBuild()
+		l := &cost.Layout{
+			Circuit:   cir,
+			X:         []int{0, gap},
+			Y:         []int{0, 0},
+			W:         []int{4, 4},
+			H:         []int{4, 4},
+			Floorplan: geom.NewRect(0, 0, 200, 200),
+		}
+		return ExtractRC(l, EstimateNets(l))[0].CF
+	}
+	if mk(100) <= mk(10) {
+		t.Error("longer route should extract more capacitance")
+	}
+}

@@ -1,0 +1,297 @@
+// Package seqpair implements the sequence-pair floorplan representation
+// (Murata et al.), the standard encoding used by modern analog placers for
+// guaranteed-legal packings: a pair of block permutations (Γ+, Γ-) encodes,
+// for every block pair, a left-of or below relation, and positions follow
+// from longest-path computations.
+//
+// In this repository sequence pairs serve two roles: a compacting
+// alternative to the slicing-tree template as the multi-placement
+// structure's backup (Pack produces tighter layouts than a balanced tree),
+// and a second optimization-based baseline whose every visited state is
+// legal by construction.
+package seqpair
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mps/internal/anneal"
+	"mps/internal/cost"
+	"mps/internal/geom"
+	"mps/internal/netlist"
+)
+
+// SeqPair is a sequence-pair over n blocks: two permutations of 0..n-1.
+// Block a is left of block b iff a precedes b in both sequences; a is below
+// b iff a follows b in Plus but precedes b in Minus.
+type SeqPair struct {
+	Plus, Minus []int
+}
+
+// New returns the identity sequence pair (all blocks in a row).
+func New(n int) SeqPair {
+	sp := SeqPair{Plus: make([]int, n), Minus: make([]int, n)}
+	for i := 0; i < n; i++ {
+		sp.Plus[i] = i
+		sp.Minus[i] = i
+	}
+	return sp
+}
+
+// Random returns a uniformly random sequence pair.
+func Random(n int, rng *rand.Rand) SeqPair {
+	return SeqPair{Plus: rng.Perm(n), Minus: rng.Perm(n)}
+}
+
+// Clone returns a deep copy.
+func (sp SeqPair) Clone() SeqPair {
+	return SeqPair{
+		Plus:  append([]int(nil), sp.Plus...),
+		Minus: append([]int(nil), sp.Minus...),
+	}
+}
+
+// Validate checks both sequences are permutations of the same length.
+func (sp SeqPair) Validate() error {
+	n := len(sp.Plus)
+	if len(sp.Minus) != n {
+		return fmt.Errorf("seqpair: sequences sized %d/%d", n, len(sp.Minus))
+	}
+	for _, seq := range [][]int{sp.Plus, sp.Minus} {
+		seen := make([]bool, n)
+		for _, v := range seq {
+			if v < 0 || v >= n || seen[v] {
+				return fmt.Errorf("seqpair: sequence %v is not a permutation", seq)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// Positions computes the packed bottom-left anchors for blocks of the given
+// dimensions, with gap units of spacing added between adjacent blocks.
+// The layout is legal by construction: x via longest paths in the
+// "left-of" relation, y via longest paths in the "below" relation.
+func (sp SeqPair) Positions(ws, hs []int, gap int) (x, y []int, err error) {
+	n := len(sp.Plus)
+	if err := sp.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(ws) != n || len(hs) != n {
+		return nil, nil, fmt.Errorf("seqpair: dims sized %d/%d, want %d", len(ws), len(hs), n)
+	}
+	if gap < 0 {
+		gap = 0
+	}
+	// posPlus[b] / posMinus[b]: index of block b in each sequence.
+	posPlus := make([]int, n)
+	posMinus := make([]int, n)
+	for i, b := range sp.Plus {
+		posPlus[b] = i
+	}
+	for i, b := range sp.Minus {
+		posMinus[b] = i
+	}
+
+	// x: process blocks in Minus order; a is left of b iff it precedes b in
+	// both sequences, so scanning Minus and maximizing over already-placed
+	// blocks with smaller Plus index yields the longest path.
+	x = make([]int, n)
+	for _, b := range sp.Minus {
+		best := 0
+		for _, a := range sp.Minus[:posMinus[b]] {
+			if posPlus[a] < posPlus[b] { // a left of b
+				if end := x[a] + ws[a] + gap; end > best {
+					best = end
+				}
+			}
+		}
+		x[b] = best
+	}
+	// y: a is below b iff a follows b in Plus and precedes b in Minus.
+	y = make([]int, n)
+	for _, b := range sp.Minus {
+		best := 0
+		for _, a := range sp.Minus[:posMinus[b]] {
+			if posPlus[a] > posPlus[b] { // a below b
+				if end := y[a] + hs[a] + gap; end > best {
+					best = end
+				}
+			}
+		}
+		y[b] = best
+	}
+	return x, y, nil
+}
+
+// Config controls the sequence-pair annealing placer.
+type Config struct {
+	// Steps is the SA move budget. Default 1500.
+	Steps int
+	// Cooling is the geometric cooling factor. Default 0.997.
+	Cooling float64
+	// Seed drives the run.
+	Seed int64
+	// Evaluator scores layouts. Default cost.DefaultWeights.
+	Evaluator cost.Evaluator
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Steps == 0 {
+		cfg.Steps = 1500
+	}
+	if cfg.Cooling == 0 {
+		cfg.Cooling = 0.997
+	}
+	if cfg.Evaluator == nil {
+		cfg.Evaluator = cost.DefaultWeights
+	}
+	return cfg
+}
+
+// Result is an annealed packing.
+type Result struct {
+	X, Y  []int
+	Cost  float64
+	Pair  SeqPair
+	Stats anneal.Stats
+}
+
+// problem is the SA state: the sequence pair itself. Every candidate is a
+// legal packing, so no penalty or repair is needed.
+type problem struct {
+	circuit *netlist.Circuit
+	sp      SeqPair
+	prev    SeqPair
+	layout  cost.Layout
+	ev      cost.Evaluator
+	gap     int
+
+	best     float64
+	bestX    []int
+	bestY    []int
+	bestPair SeqPair
+}
+
+// Propose implements anneal.Problem: swap two entries in one or both
+// sequences.
+func (pr *problem) Propose(rng *rand.Rand, magnitude float64) float64 {
+	n := len(pr.sp.Plus)
+	pr.prev = pr.sp.Clone()
+	i, j := rng.Intn(n), rng.Intn(n)
+	for n > 1 && j == i {
+		j = rng.Intn(n)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		pr.sp.Plus[i], pr.sp.Plus[j] = pr.sp.Plus[j], pr.sp.Plus[i]
+	case 1:
+		pr.sp.Minus[i], pr.sp.Minus[j] = pr.sp.Minus[j], pr.sp.Minus[i]
+	default:
+		pr.sp.Plus[i], pr.sp.Plus[j] = pr.sp.Plus[j], pr.sp.Plus[i]
+		pr.sp.Minus[i], pr.sp.Minus[j] = pr.sp.Minus[j], pr.sp.Minus[i]
+	}
+	x, y, err := pr.sp.Positions(pr.layout.W, pr.layout.H, pr.gap)
+	if err != nil {
+		// Cannot happen for valid permutations; treat as a terrible move.
+		return 1e308
+	}
+	copy(pr.layout.X, x)
+	copy(pr.layout.Y, y)
+	c := pr.ev.Cost(&pr.layout)
+	if c < pr.best {
+		pr.best = c
+		copy(pr.bestX, x)
+		copy(pr.bestY, y)
+		pr.bestPair = pr.sp.Clone()
+	}
+	return c
+}
+
+// Accept implements anneal.Problem.
+func (pr *problem) Accept() {}
+
+// Reject implements anneal.Problem.
+func (pr *problem) Reject() { pr.sp = pr.prev }
+
+// Pack anneals a sequence pair for the sized circuit and returns the best
+// packing found. The gap honors the circuit's largest design-rule halo.
+func Pack(c *netlist.Circuit, fp geom.Rect, ws, hs []int, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	n := c.N()
+	if len(ws) != n || len(hs) != n {
+		return Result{}, fmt.Errorf("seqpair: dims sized %d/%d, want %d", len(ws), len(hs), n)
+	}
+	gap := 0
+	for _, b := range c.Blocks {
+		if b.Margin > gap {
+			gap = b.Margin
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pr := &problem{
+		circuit: c,
+		sp:      Random(n, rng),
+		ev:      cfg.Evaluator,
+		gap:     gap,
+		layout: cost.Layout{
+			Circuit:   c,
+			X:         make([]int, n),
+			Y:         make([]int, n),
+			W:         append([]int(nil), ws...),
+			H:         append([]int(nil), hs...),
+			Floorplan: fp,
+		},
+		bestX: make([]int, n),
+		bestY: make([]int, n),
+	}
+	x, y, err := pr.sp.Positions(ws, hs, gap)
+	if err != nil {
+		return Result{}, err
+	}
+	copy(pr.layout.X, x)
+	copy(pr.layout.Y, y)
+	initCost := cfg.Evaluator.Cost(&pr.layout)
+	pr.best = initCost
+	copy(pr.bestX, x)
+	copy(pr.bestY, y)
+	pr.bestPair = pr.sp.Clone()
+
+	stats, err := anneal.Run(pr, initCost, anneal.Config{
+		Steps:   cfg.Steps,
+		Cooling: cfg.Cooling,
+		Rand:    rng,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("seqpair: %w", err)
+	}
+	return Result{X: pr.bestX, Y: pr.bestY, Cost: pr.best, Pair: pr.bestPair, Stats: stats}, nil
+}
+
+// Backup adapts a fixed sequence pair to the core.Backup / synth.Provider
+// shape: a deterministic packed instantiation for any dimensions, like a
+// template but with longest-path compaction.
+type Backup struct {
+	Circuit *netlist.Circuit
+	Pair    SeqPair
+	// Gap defaults to the circuit's largest margin when zero.
+	Gap int
+}
+
+// NewBackup returns a Backup with a deterministic (identity) sequence pair
+// and margin-derived gap.
+func NewBackup(c *netlist.Circuit) *Backup {
+	gap := 1
+	for _, b := range c.Blocks {
+		if b.Margin > gap {
+			gap = b.Margin
+		}
+	}
+	return &Backup{Circuit: c, Pair: New(c.N()), Gap: gap}
+}
+
+// Place implements the backup interface.
+func (bk *Backup) Place(ws, hs []int) (x, y []int, err error) {
+	return bk.Pair.Positions(ws, hs, bk.Gap)
+}

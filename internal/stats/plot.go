@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of an ASCII plot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// PlotOptions controls ASCII plot rendering.
+type PlotOptions struct {
+	// Width and Height are the plot area size in characters.
+	// Defaults: 64 x 16.
+	Width, Height int
+	// Title is printed above the plot.
+	Title string
+}
+
+// seriesGlyphs mark the data points of successive series.
+const seriesGlyphs = "*o+x#%@&"
+
+// Plot renders the series as an ASCII chart sharing one y-scale — how this
+// repository reproduces the paper's cost plots (Figure 6) in a terminal.
+// The x-axis is the sample index (all series must have equal length).
+func Plot(w io.Writer, opts PlotOptions, series ...Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("stats: no series to plot")
+	}
+	n := len(series[0].Values)
+	if n == 0 {
+		return fmt.Errorf("stats: empty series")
+	}
+	for _, s := range series {
+		if len(s.Values) != n {
+			return fmt.Errorf("stats: series %q has %d values, want %d", s.Name, len(s.Values), n)
+		}
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = 64
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = 16
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i, v := range s.Values {
+			col := 0
+			if n > 1 {
+				col = i * (width - 1) / (n - 1)
+			}
+			row := int((v - lo) / (hi - lo) * float64(height-1))
+			r := height - 1 - row
+			grid[r][col] = glyph
+		}
+	}
+
+	if opts.Title != "" {
+		fmt.Fprintln(w, opts.Title)
+	}
+	fmt.Fprintf(w, "%10.4g +%s\n", hi, strings.Repeat("-", width))
+	for r, row := range grid {
+		label := strings.Repeat(" ", 10)
+		if r == height-1 {
+			label = fmt.Sprintf("%10.4g", lo)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, row)
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	legend := make([]string, len(series))
+	for si, s := range series {
+		legend[si] = fmt.Sprintf("%c %s", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 10), strings.Join(legend, "   "))
+	return nil
+}

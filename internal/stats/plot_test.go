@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, PlotOptions{Width: 20, Height: 5, Title: "demo"},
+		Series{Name: "up", Values: []float64{1, 2, 3, 4, 5}},
+		Series{Name: "down", Values: []float64{5, 4, 3, 2, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("series glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// y-scale labels: min 1 and max 5 must appear.
+	if !strings.Contains(out, "5") || !strings.Contains(out, "1") {
+		t.Errorf("scale labels missing:\n%s", out)
+	}
+}
+
+func TestPlotMonotoneSeriesSlopesCorrectly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, PlotOptions{Width: 10, Height: 5},
+		Series{Name: "up", Values: []float64{0, 1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// First plot row (top) must contain the last point's glyph near the
+	// right; bottom row the first point's glyph near the left.
+	var top, bottom string
+	for _, ln := range lines {
+		if strings.Contains(ln, "|") {
+			if top == "" {
+				top = ln
+			}
+			bottom = ln
+		}
+	}
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Errorf("rising series should reach top-right:\n%s", buf.String())
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, PlotOptions{}); err == nil {
+		t.Error("no series should error")
+	}
+	if err := Plot(&buf, PlotOptions{}, Series{Name: "e"}); err == nil {
+		t.Error("empty series should error")
+	}
+	if err := Plot(&buf, PlotOptions{},
+		Series{Name: "a", Values: []float64{1, 2}},
+		Series{Name: "b", Values: []float64{1}}); err == nil {
+		t.Error("ragged series should error")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, PlotOptions{Width: 10, Height: 4},
+		Series{Name: "flat", Values: []float64{3, 3, 3}}); err != nil {
+		t.Fatalf("constant series should plot: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Errorf("N = %d, want 5", s.N)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %g, want 3", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min/Max = %g/%g, want 1/5", s.Min, s.Max)
+	}
+	if s.Median != 3 {
+		t.Errorf("Median = %g, want 3", s.Median)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %g, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Errorf("Median = %g, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty sample: %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Errorf("single sample: %+v", s)
+	}
+}
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("Circuit", "Placements", "Time")
+	tb.AddRow("circ01", 57, 0.07)
+	tb.AddRow("benchmark24", 133, 0.15)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count = %d, want 4:\n%s", len(lines), out)
+	}
+	width := len(lines[0])
+	for _, ln := range lines {
+		if len(ln) != width {
+			t.Errorf("ragged table:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "circ01") || !strings.Contains(out, "133") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(3.0)
+	tb.AddRow(0.123456)
+	out := tb.String()
+	if !strings.Contains(out, "| 3 ") && !strings.Contains(out, "| 3 |") {
+		t.Errorf("integral float not trimmed:\n%s", out)
+	}
+	if !strings.Contains(out, "0.1235") {
+		t.Errorf("float not rounded to 4 significant digits:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("name", "note")
+	tb.AddRow("a", `has "quotes", and commas`)
+	tb.AddRow("b", "plain")
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	got := buf.String()
+	want := "name,note\na,\"has \"\"quotes\"\", and commas\"\nb,plain\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("only")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	width := len(lines[0])
+	for _, ln := range lines {
+		if len(ln) != width {
+			t.Errorf("short row broke alignment:\n%s", out)
+		}
+	}
+}

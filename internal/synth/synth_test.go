@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mps/internal/circuits"
+	"mps/internal/cost"
+	"mps/internal/modgen"
+	"mps/internal/placement"
+	"mps/internal/template"
+)
+
+func TestRunWithTemplateProvider(t *testing.T) {
+	c := circuits.MustByName("Mixer")
+	sizer := modgen.DefaultSizer(c)
+	fp := placement.DefaultFloorplan(c)
+	tpl := template.Balanced(c)
+	res, err := Run(sizer, tpl, LayoutOnlyObjective(cost.DefaultWeights), fp, Config{
+		Steps: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestLayout == nil {
+		t.Fatal("no best layout recorded")
+	}
+	if res.BestCost <= 0 || res.BestCost >= 1e12 {
+		t.Errorf("BestCost = %g, want a real layout cost", res.BestCost)
+	}
+	if res.Iterations != 100 {
+		t.Errorf("Iterations = %d, want 100", res.Iterations)
+	}
+	if res.PlaceCalls < res.Iterations {
+		t.Errorf("PlaceCalls = %d, want >= %d", res.PlaceCalls, res.Iterations)
+	}
+	if res.PlaceErrs != 0 {
+		t.Errorf("PlaceErrs = %d, want 0 with template provider", res.PlaceErrs)
+	}
+	if res.AvgPlaceTime() < 0 {
+		t.Error("negative average place time")
+	}
+}
+
+func TestRunImprovesObjective(t *testing.T) {
+	c := circuits.MustByName("TwoStageOpamp")
+	sizer := modgen.DefaultSizer(c)
+	fp := placement.DefaultFloorplan(c)
+	tpl := template.Balanced(c)
+	res, err := Run(sizer, tpl, LayoutOnlyObjective(cost.DefaultWeights), fp, Config{
+		Steps: 400, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost > res.AnnealStats.InitCost {
+		t.Errorf("BestCost %g worse than initial %g", res.BestCost, res.AnnealStats.InitCost)
+	}
+	// With a layout-only objective and Scalable knobs, smaller blocks are
+	// strictly better: the optimizer must push well below the mid-range
+	// start.
+	if res.BestCost > 0.9*res.AnnealStats.InitCost {
+		t.Errorf("BestCost %g improved less than 10%% over init %g",
+			res.BestCost, res.AnnealStats.InitCost)
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	c := circuits.MustByName("circ01")
+	fp := placement.DefaultFloorplan(c)
+	run := func() Result {
+		res, err := Run(modgen.DefaultSizer(c), template.Balanced(c),
+			LayoutOnlyObjective(cost.DefaultWeights), fp, Config{Steps: 50, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.BestCost != b.BestCost {
+		t.Errorf("same seed, different best cost: %g vs %g", a.BestCost, b.BestCost)
+	}
+	for i := range a.BestX {
+		if a.BestX[i] != b.BestX[i] {
+			t.Fatal("same seed, different best sizing vector")
+		}
+	}
+}
+
+func TestRunSurvivesFailingProvider(t *testing.T) {
+	c := circuits.MustByName("circ01")
+	sizer := modgen.DefaultSizer(c)
+	fp := placement.DefaultFloorplan(c)
+	tpl := template.Balanced(c)
+	calls := 0
+	flaky := ProviderFunc(func(ws, hs []int) ([]int, []int, error) {
+		calls++
+		if calls%3 == 0 {
+			return nil, nil, errors.New("injected placement failure")
+		}
+		return tpl.Place(ws, hs)
+	})
+	res, err := Run(sizer, flaky, LayoutOnlyObjective(cost.DefaultWeights), fp, Config{
+		Steps: 60, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlaceErrs == 0 {
+		t.Error("injected failures not counted")
+	}
+	if res.BestLayout == nil || res.BestCost >= 1e12 {
+		t.Error("run should still find good points between failures")
+	}
+}
+
+func TestRunTracksPlaceTime(t *testing.T) {
+	c := circuits.MustByName("circ01")
+	sizer := modgen.DefaultSizer(c)
+	fp := placement.DefaultFloorplan(c)
+	tpl := template.Balanced(c)
+	slow := ProviderFunc(func(ws, hs []int) ([]int, []int, error) {
+		time.Sleep(200 * time.Microsecond)
+		return tpl.Place(ws, hs)
+	})
+	res, err := Run(sizer, slow, LayoutOnlyObjective(cost.DefaultWeights), fp, Config{
+		Steps: 20, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgPlaceTime() < 150*time.Microsecond {
+		t.Errorf("AvgPlaceTime = %v, want >= simulated 200µs", res.AvgPlaceTime())
+	}
+	if res.PlaceTime > res.TotalTime {
+		t.Error("place time exceeds total time")
+	}
+}

@@ -1,0 +1,222 @@
+// Package template implements the template-based placement baseline the
+// paper compares against (§1: BALLISTIC, MOGLAN, MSL) and the backup
+// instantiator for uncovered multi-placement-structure queries (§3.1.4).
+//
+// A template is a slicing tree over the circuit's blocks: internal nodes cut
+// the floorplan horizontally or vertically, leaves hold blocks. Instantiation
+// for a concrete dimension vector computes node sizes bottom-up and assigns
+// positions top-down — fast, deterministic, and legal for any dimensions,
+// exactly the procedural-generator behaviour whose single fixed topology the
+// multi-placement structure generalizes.
+package template
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mps/internal/netlist"
+)
+
+// Cut direction of an internal slicing-tree node.
+type Cut byte
+
+const (
+	// CutV places the children side by side (vertical cut line).
+	CutV Cut = 'V'
+	// CutH stacks the children (horizontal cut line).
+	CutH Cut = 'H'
+)
+
+// Node is a slicing-tree node: either a leaf holding a block index, or an
+// internal node with a cut direction and two children.
+type Node struct {
+	Block       int // leaf block index; -1 for internal nodes
+	Cut         Cut
+	Left, Right *Node
+}
+
+// Leaf returns a leaf node for the given block.
+func Leaf(block int) *Node { return &Node{Block: block} }
+
+// Internal returns an internal node combining two subtrees.
+func Internal(cut Cut, left, right *Node) *Node {
+	return &Node{Block: -1, Cut: cut, Left: left, Right: right}
+}
+
+// Template is a fixed placement topology for one circuit.
+type Template struct {
+	circuit *netlist.Circuit
+	root    *Node
+	// Gap is the spacing inserted between sibling blocks, in layout units.
+	Gap int
+}
+
+// New validates that the tree covers every block of c exactly once and
+// returns the template.
+func New(c *netlist.Circuit, root *Node) (*Template, error) {
+	seen := make([]bool, c.N())
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n == nil {
+			return fmt.Errorf("template: nil node in tree")
+		}
+		if n.Block >= 0 {
+			if n.Left != nil || n.Right != nil {
+				return fmt.Errorf("template: leaf for block %d has children", n.Block)
+			}
+			if n.Block >= c.N() {
+				return fmt.Errorf("template: leaf references block %d (have %d)", n.Block, c.N())
+			}
+			if seen[n.Block] {
+				return fmt.Errorf("template: block %d appears twice", n.Block)
+			}
+			seen[n.Block] = true
+			return nil
+		}
+		if n.Cut != CutV && n.Cut != CutH {
+			return fmt.Errorf("template: internal node with invalid cut %q", n.Cut)
+		}
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		return walk(n.Right)
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("template: block %d missing from tree", i)
+		}
+	}
+	// Sibling spacing honors the largest design-rule halo in the circuit,
+	// so template instantiations satisfy the same clearance the annealed
+	// placements do.
+	gap := 1
+	for _, b := range c.Blocks {
+		if b.Margin > gap {
+			gap = b.Margin
+		}
+	}
+	return &Template{circuit: c, root: root, Gap: gap}, nil
+}
+
+// Balanced builds a template whose tree splits the block list in half
+// recursively, alternating cut directions — the deterministic default
+// template for a circuit (used as MPS backup and as the Fig. 5c baseline).
+func Balanced(c *netlist.Circuit) *Template {
+	idx := make([]int, c.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	t, err := New(c, buildBalanced(idx, CutV))
+	if err != nil {
+		panic(err) // construction is correct by design
+	}
+	return t
+}
+
+// Random builds a template with a random tree shape and cut directions,
+// deterministic in seed. Distinct seeds give genuinely different fixed
+// placements — the population for template-vs-MPS comparisons.
+func Random(c *netlist.Circuit, seed int64) *Template {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(c.N())
+	var build func(ids []int) *Node
+	build = func(ids []int) *Node {
+		if len(ids) == 1 {
+			return Leaf(ids[0])
+		}
+		cutAt := 1 + rng.Intn(len(ids)-1)
+		cut := CutV
+		if rng.Intn(2) == 0 {
+			cut = CutH
+		}
+		return Internal(cut, build(ids[:cutAt]), build(ids[cutAt:]))
+	}
+	t, err := New(c, build(idx))
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func buildBalanced(ids []int, cut Cut) *Node {
+	if len(ids) == 1 {
+		return Leaf(ids[0])
+	}
+	mid := len(ids) / 2
+	next := CutH
+	if cut == CutH {
+		next = CutV
+	}
+	return Internal(cut, buildBalanced(ids[:mid], next), buildBalanced(ids[mid:], next))
+}
+
+// Place instantiates the template for the given block dimensions, returning
+// bottom-left anchors. It implements the core.Backup interface. The layout
+// is always legal: sibling subtrees occupy disjoint half-planes separated by
+// Gap.
+func (t *Template) Place(ws, hs []int) (x, y []int, err error) {
+	n := t.circuit.N()
+	if len(ws) != n || len(hs) != n {
+		return nil, nil, fmt.Errorf("template: dimension vectors sized %d/%d, want %d",
+			len(ws), len(hs), n)
+	}
+	for i, b := range t.circuit.Blocks {
+		if ws[i] <= 0 || hs[i] <= 0 {
+			return nil, nil, fmt.Errorf("template: block %d has non-positive dims %dx%d", i, ws[i], hs[i])
+		}
+		_ = b
+	}
+	x = make([]int, n)
+	y = make([]int, n)
+	t.assign(t.root, 0, 0, ws, hs, x, y)
+	return x, y, nil
+}
+
+// size returns the bounding dimensions of the subtree at n.
+func (t *Template) size(n *Node, ws, hs []int) (w, h int) {
+	if n.Block >= 0 {
+		return ws[n.Block], hs[n.Block]
+	}
+	lw, lh := t.size(n.Left, ws, hs)
+	rw, rh := t.size(n.Right, ws, hs)
+	if n.Cut == CutV {
+		return lw + t.Gap + rw, maxInt(lh, rh)
+	}
+	return maxInt(lw, rw), lh + t.Gap + rh
+}
+
+// assign positions the subtree with its bounding box anchored at (x0, y0).
+func (t *Template) assign(n *Node, x0, y0 int, ws, hs, x, y []int) {
+	if n.Block >= 0 {
+		x[n.Block] = x0
+		y[n.Block] = y0
+		return
+	}
+	lw, lh := t.size(n.Left, ws, hs)
+	if n.Cut == CutV {
+		t.assign(n.Left, x0, y0, ws, hs, x, y)
+		t.assign(n.Right, x0+lw+t.Gap, y0, ws, hs, x, y)
+	} else {
+		_ = lh
+		t.assign(n.Left, x0, y0, ws, hs, x, y)
+		lw2, lh2 := t.size(n.Left, ws, hs)
+		_ = lw2
+		t.assign(n.Right, x0, y0+lh2+t.Gap, ws, hs, x, y)
+	}
+}
+
+// BoundingDims returns the width and height the template occupies at the
+// given block dimensions.
+func (t *Template) BoundingDims(ws, hs []int) (w, h int) {
+	return t.size(t.root, ws, hs)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,220 @@
+package template
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mps/internal/circuits"
+	"mps/internal/geom"
+)
+
+// checkLegal verifies the instantiated layout has no overlapping blocks.
+func checkLegal(t *testing.T, name string, ws, hs, x, y []int) {
+	t.Helper()
+	n := len(ws)
+	for i := 0; i < n; i++ {
+		ri := geom.NewRect(x[i], y[i], ws[i], hs[i])
+		for j := i + 1; j < n; j++ {
+			rj := geom.NewRect(x[j], y[j], ws[j], hs[j])
+			if ri.Overlaps(rj) {
+				t.Fatalf("%s: blocks %d and %d overlap (%v vs %v)", name, i, j, ri, rj)
+			}
+		}
+	}
+}
+
+func TestBalancedPlaceLegalAllBenchmarks(t *testing.T) {
+	for _, name := range circuits.Names() {
+		t.Run(name, func(t *testing.T) {
+			c := circuits.MustByName(name)
+			tpl := Balanced(c)
+			rng := rand.New(rand.NewSource(1))
+			for trial := 0; trial < 25; trial++ {
+				ws := make([]int, c.N())
+				hs := make([]int, c.N())
+				for i, b := range c.Blocks {
+					ws[i] = b.WMin + rng.Intn(b.WMax-b.WMin+1)
+					hs[i] = b.HMin + rng.Intn(b.HMax-b.HMin+1)
+				}
+				x, y, err := tpl.Place(ws, hs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkLegal(t, name, ws, hs, x, y)
+			}
+		})
+	}
+}
+
+func TestRandomTemplatesLegalAndDistinct(t *testing.T) {
+	c := circuits.MustByName("TwoStageOpamp")
+	ws := make([]int, c.N())
+	hs := make([]int, c.N())
+	for i, b := range c.Blocks {
+		ws[i] = (b.WMin + b.WMax) / 2
+		hs[i] = (b.HMin + b.HMax) / 2
+	}
+	var first []int
+	distinct := false
+	for seed := int64(0); seed < 5; seed++ {
+		tpl := Random(c, seed)
+		x, y, err := tpl.Place(ws, hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLegal(t, "random", ws, hs, x, y)
+		if first == nil {
+			first = append(append([]int{}, x...), y...)
+		} else {
+			cur := append(append([]int{}, x...), y...)
+			for k := range cur {
+				if cur[k] != first[k] {
+					distinct = true
+				}
+			}
+		}
+	}
+	if !distinct {
+		t.Error("five random templates produced identical placements")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	c := circuits.MustByName("Mixer")
+	tpl := Balanced(c)
+	ws := make([]int, c.N())
+	hs := make([]int, c.N())
+	for i, b := range c.Blocks {
+		ws[i] = b.WMax
+		hs[i] = b.HMax
+	}
+	x1, y1, err := tpl.Place(ws, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, y2, err := tpl.Place(ws, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] || y1[i] != y2[i] {
+			t.Fatal("template instantiation is not deterministic")
+		}
+	}
+}
+
+// TestTemplateTopologyFixed verifies the defining limitation of templates
+// the paper motivates against: relative block order never changes with
+// dimensions (the same block stays leftmost in a V-cut).
+func TestTemplateTopologyFixed(t *testing.T) {
+	c := circuits.MustByName("circ01")
+	tpl := Balanced(c)
+	small := []int{6, 6, 6, 6}
+	smallH := []int{5, 5, 5, 5}
+	big := make([]int, 4)
+	bigH := make([]int, 4)
+	for i, b := range c.Blocks {
+		big[i] = b.WMax
+		bigH[i] = b.HMax
+	}
+	x1, _, err := tpl.Place(small, smallH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, _, err := tpl.Place(big, bigH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order along x of the two blocks split by the root V-cut must match.
+	if (x1[0] < x1[2]) != (x2[0] < x2[2]) {
+		t.Error("template changed relative block order with dimensions")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	c := circuits.MustByName("circ01") // 4 blocks
+	cases := []struct {
+		name string
+		root *Node
+	}{
+		{"missing block", Internal(CutV, Leaf(0), Leaf(1))},
+		{"duplicate block", Internal(CutV, Internal(CutH, Leaf(0), Leaf(0)), Internal(CutH, Leaf(2), Leaf(3)))},
+		{"out of range", Internal(CutV, Internal(CutH, Leaf(0), Leaf(9)), Internal(CutH, Leaf(2), Leaf(3)))},
+		{"nil child", &Node{Block: -1, Cut: CutV, Left: Leaf(0)}},
+		{"bad cut", &Node{Block: -1, Cut: 'X', Left: Leaf(0), Right: Leaf(1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(c, tc.root); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestPlaceRejectsBadDims(t *testing.T) {
+	c := circuits.MustByName("circ01")
+	tpl := Balanced(c)
+	if _, _, err := tpl.Place([]int{1, 2}, []int{1, 2}); err == nil {
+		t.Error("short vectors should error")
+	}
+	if _, _, err := tpl.Place([]int{0, 10, 10, 10}, []int{10, 10, 10, 10}); err == nil {
+		t.Error("non-positive dims should error")
+	}
+}
+
+func TestBoundingDimsConsistent(t *testing.T) {
+	c := circuits.MustByName("circ02")
+	tpl := Balanced(c)
+	ws := make([]int, c.N())
+	hs := make([]int, c.N())
+	for i, b := range c.Blocks {
+		ws[i] = b.WMax
+		hs[i] = b.HMax
+	}
+	x, y, err := tpl.Place(ws, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := tpl.BoundingDims(ws, hs)
+	var bb geom.Rect
+	for i := range x {
+		bb = bb.Union(geom.NewRect(x[i], y[i], ws[i], hs[i]))
+	}
+	if bb.W() > w || bb.H() > h {
+		t.Errorf("actual bounding box %dx%d exceeds reported %dx%d", bb.W(), bb.H(), w, h)
+	}
+}
+
+// TestPlaceLegalProperty: legality for arbitrary in-bounds dimension vectors
+// via testing/quick.
+func TestPlaceLegalProperty(t *testing.T) {
+	c := circuits.MustByName("SingleEndedOpamp")
+	tpl := Balanced(c)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ws := make([]int, c.N())
+		hs := make([]int, c.N())
+		for i, b := range c.Blocks {
+			ws[i] = b.WMin + rng.Intn(b.WMax-b.WMin+1)
+			hs[i] = b.HMin + rng.Intn(b.HMax-b.HMin+1)
+		}
+		x, y, err := tpl.Place(ws, hs)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < c.N(); i++ {
+			ri := geom.NewRect(x[i], y[i], ws[i], hs[i])
+			for j := i + 1; j < c.N(); j++ {
+				if ri.Overlaps(geom.NewRect(x[j], y[j], ws[j], hs[j])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

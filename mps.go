@@ -1,0 +1,197 @@
+// Package mps is the public facade of the multi-placement-structure
+// library, a reproduction of "Multi-Placement Structures for Fast and
+// Optimized Placement in Analog Circuit Synthesis" (Badaoui & Vemuri,
+// DATE 2005).
+//
+// The workflow mirrors the paper's Figure 1:
+//
+//	// One-time generation for a circuit topology (Fig. 1a).
+//	circuit, _ := mps.Benchmark("TwoStageOpamp")
+//	s, stats, _ := mps.Generate(circuit, mps.Options{Seed: 1})
+//
+//	// Fast placement instantiation inside a sizing loop (Fig. 1b).
+//	res, _ := s.Instantiate(widths, heights)
+//
+// Generate runs the paper's nested simulated annealing (Placement Explorer
+// outside, Block Dimensions-Interval Optimizer inside) and installs a
+// slicing-tree template as the backup for queries in uncovered dimension
+// space. The returned structure answers any in-bounds dimension vector with
+// exactly one placement.
+package mps
+
+import (
+	"fmt"
+	"os"
+
+	"mps/internal/bdio"
+	"mps/internal/circuits"
+	"mps/internal/core"
+	"mps/internal/cost"
+	"mps/internal/explorer"
+	"mps/internal/netlist"
+	"mps/internal/seqpair"
+	"mps/internal/template"
+)
+
+// Circuit re-exports the netlist circuit type used throughout the API.
+type Circuit = netlist.Circuit
+
+// Structure is a generated multi-placement structure bound to its circuit.
+type Structure struct {
+	*core.Structure
+}
+
+// Result re-exports the instantiation result type.
+type Result = core.Result
+
+// Stats re-exports generation statistics.
+type Stats = explorer.Stats
+
+// Options tunes Generate. The zero value is a balanced default; Effort
+// presets scale the annealing budgets.
+type Options struct {
+	// Seed drives all randomness. Equal seeds give identical structures
+	// (with Chains == 1).
+	Seed int64
+	// Iterations is the Placement Explorer budget (outer SA steps).
+	// 0 uses the Effort preset.
+	Iterations int
+	// BDIOSteps is the inner-annealer budget per explored placement.
+	// 0 uses the Effort preset.
+	BDIOSteps int
+	// Effort selects preset budgets when Iterations/BDIOSteps are 0.
+	Effort Effort
+	// Chains runs parallel explorer chains feeding one structure.
+	Chains int
+	// Evaluator overrides the default wire-length + area cost.
+	Evaluator cost.Evaluator
+	// MaxPlacements stops generation early at this structure size (0 = off).
+	MaxPlacements int
+	// TargetCoverage stops generation at this exact volume coverage
+	// (0 = off; practical only for small circuits).
+	TargetCoverage float64
+	// Backup selects the instantiator for uncovered dimension regions.
+	Backup BackupKind
+	// Progress observes generation (chain, iteration, structure size).
+	Progress func(chain, iter, numPlacements int)
+}
+
+// BackupKind selects the uncovered-space fallback installed by Generate.
+type BackupKind int
+
+const (
+	// BackupSlicingTree is the balanced slicing-tree template (default) —
+	// the paper's "template-like placement" for uncovered space.
+	BackupSlicingTree BackupKind = iota
+	// BackupSequencePair uses a deterministic sequence-pair packing, which
+	// compacts via longest paths and typically wastes less area than the
+	// balanced tree.
+	BackupSequencePair
+)
+
+// Effort presets the annealing budgets.
+type Effort int
+
+const (
+	// EffortBalanced is the default: minutes-scale generation quality on
+	// laptop hardware.
+	EffortBalanced Effort = iota
+	// EffortQuick is for tests and demos: seconds-scale generation.
+	EffortQuick
+	// EffortThorough approaches the paper's hours-scale budgets.
+	EffortThorough
+)
+
+func (o Options) budgets() (iters, bdioSteps int) {
+	iters, bdioSteps = o.Iterations, o.BDIOSteps
+	if iters == 0 {
+		switch o.Effort {
+		case EffortQuick:
+			iters = 60
+		case EffortThorough:
+			iters = 1500
+		default:
+			iters = 300
+		}
+	}
+	if bdioSteps == 0 {
+		switch o.Effort {
+		case EffortQuick:
+			bdioSteps = 80
+		case EffortThorough:
+			bdioSteps = 1000
+		default:
+			bdioSteps = 300
+		}
+	}
+	return iters, bdioSteps
+}
+
+// Benchmark returns one of the paper's Table 1 circuits by name:
+// circ01, circ02, circ06, TwoStageOpamp, SingleEndedOpamp, Mixer, circ08,
+// tso-cascode, benchmark24.
+func Benchmark(name string) (*Circuit, error) { return circuits.ByName(name) }
+
+// BenchmarkNames returns all Table 1 circuit names in paper order.
+func BenchmarkNames() []string { return circuits.Names() }
+
+// Generate builds a multi-placement structure for the circuit — the
+// one-time offline step of Fig. 1a — and installs a balanced slicing-tree
+// template as the uncovered-space backup.
+func Generate(c *Circuit, opts Options) (*Structure, Stats, error) {
+	iters, bdioSteps := opts.budgets()
+	s, stats, err := explorer.Generate(c, explorer.Config{
+		Seed:           opts.Seed,
+		MaxIterations:  iters,
+		MaxPlacements:  opts.MaxPlacements,
+		TargetCoverage: opts.TargetCoverage,
+		Chains:         opts.Chains,
+		Evaluator:      opts.Evaluator,
+		BDIO:           bdio.Config{Steps: bdioSteps},
+		Progress:       opts.Progress,
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	// Re-merge fork fragments left by overlap resolution; queries are
+	// unaffected, the structure just gets smaller and faster.
+	s.Compact()
+	s.SetBackup(newBackup(c, opts.Backup))
+	return &Structure{s}, stats, nil
+}
+
+func newBackup(c *Circuit, kind BackupKind) core.Backup {
+	if kind == BackupSequencePair {
+		return seqpair.NewBackup(c)
+	}
+	return template.Balanced(c)
+}
+
+// SaveFile writes the structure to path (gob format).
+func (s *Structure) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mps: %w", err)
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a structure previously saved for the given circuit and
+// re-installs the default template backup.
+func LoadFile(path string, c *Circuit) (*Structure, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mps: %w", err)
+	}
+	defer f.Close()
+	s, err := core.Load(f, c)
+	if err != nil {
+		return nil, err
+	}
+	s.SetBackup(template.Balanced(c))
+	return &Structure{s}, nil
+}

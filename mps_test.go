@@ -1,0 +1,189 @@
+package mps
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"mps/internal/core"
+)
+
+// quickOpts is the fast preset used across facade tests.
+func quickOpts(seed int64) Options {
+	return Options{Seed: seed, Effort: EffortQuick}
+}
+
+// randomDims returns a random in-bounds dimension vector for c.
+func randomDims(c *Circuit, rng *rand.Rand) (ws, hs []int) {
+	ws = make([]int, c.N())
+	hs = make([]int, c.N())
+	for i, b := range c.Blocks {
+		ws[i] = b.WMin + rng.Intn(b.WMax-b.WMin+1)
+		hs[i] = b.HMin + rng.Intn(b.HMax-b.HMin+1)
+	}
+	return ws, hs
+}
+
+func TestBenchmarkNames(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 9 {
+		t.Fatalf("got %d benchmarks, want 9 (Table 1)", len(names))
+	}
+	for _, n := range names {
+		if _, err := Benchmark(n); err != nil {
+			t.Errorf("Benchmark(%q): %v", n, err)
+		}
+	}
+	if _, err := Benchmark("bogus"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+// TestGenerateAndInstantiateEndToEnd is the facade-level integration test:
+// generate, then answer every random query either from the structure or the
+// template backup, always with a legal layout.
+func TestGenerateAndInstantiateEndToEnd(t *testing.T) {
+	c, err := Benchmark("TwoStageOpamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, stats, err := Generate(c, quickOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPlacements() == 0 {
+		t.Fatal("empty structure generated")
+	}
+	if stats.Iterations == 0 || stats.Duration <= 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	fromStructure, fromBackup := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		ws, hs := randomDims(c, rng)
+		res, err := s.Instantiate(ws, hs)
+		if err != nil {
+			t.Fatalf("Instantiate: %v", err)
+		}
+		if res.FromBackup {
+			fromBackup++
+		} else {
+			fromStructure++
+		}
+		// Returned layout must be legal at the queried dims.
+		for i := 0; i < c.N(); i++ {
+			for j := i + 1; j < c.N(); j++ {
+				if overlap(res.X[i], res.Y[i], ws[i], hs[i], res.X[j], res.Y[j], ws[j], hs[j]) {
+					t.Fatalf("trial %d: blocks %d/%d overlap (backup=%v)", trial, i, j, res.FromBackup)
+				}
+			}
+		}
+	}
+	if fromBackup == 0 {
+		t.Log("note: every query hit the structure (tiny dim space?)")
+	}
+	if fromStructure == 0 {
+		t.Error("no query ever hit a stored placement")
+	}
+}
+
+func overlap(x1, y1, w1, h1, x2, y2, w2, h2 int) bool {
+	return x1 < x2+w2 && x2 < x1+w1 && y1 < y2+h2 && y2 < y1+h1
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	c, err := Benchmark("circ01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := Generate(c, quickOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "circ01.mps")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadFile(path, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumPlacements() != s.NumPlacements() {
+		t.Errorf("loaded %d placements, want %d", s2.NumPlacements(), s.NumPlacements())
+	}
+	// Backup must be re-installed: uncovered queries still succeed.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		ws, hs := randomDims(c, rng)
+		if _, err := s2.Instantiate(ws, hs); err != nil {
+			t.Fatalf("loaded structure failed Instantiate: %v", err)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	c, _ := Benchmark("circ01")
+	if _, err := LoadFile("/nonexistent/foo.mps", c); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestEffortPresets(t *testing.T) {
+	quick := Options{Effort: EffortQuick}
+	bal := Options{}
+	thorough := Options{Effort: EffortThorough}
+	qi, qb := quick.budgets()
+	bi, bb := bal.budgets()
+	ti, tb := thorough.budgets()
+	if !(qi < bi && bi < ti) || !(qb < bb && bb < tb) {
+		t.Errorf("effort presets not ordered: %d/%d, %d/%d, %d/%d", qi, qb, bi, bb, ti, tb)
+	}
+	explicit := Options{Iterations: 7, BDIOSteps: 9, Effort: EffortThorough}
+	ei, eb := explicit.budgets()
+	if ei != 7 || eb != 9 {
+		t.Errorf("explicit budgets overridden: %d/%d", ei, eb)
+	}
+}
+
+func TestGenerateWithTargetCoverageStops(t *testing.T) {
+	c, err := Benchmark("circ01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickOpts(5)
+	opts.Iterations = 2000
+	opts.TargetCoverage = 1e-6
+	s, stats, err := Generate(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations >= 2000 {
+		t.Errorf("Iterations = %d, want early stop at coverage target", stats.Iterations)
+	}
+	if s.Coverage() < 1e-6 {
+		t.Errorf("Coverage = %g below target", s.Coverage())
+	}
+}
+
+func TestStructureInvariantsAfterFacadeGenerate(t *testing.T) {
+	c, err := Benchmark("Mixer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := Generate(c, quickOpts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !errorsIsUncoveredSupported() {
+		t.Skip("sanity only")
+	}
+}
+
+func errorsIsUncoveredSupported() bool {
+	return errors.Is(core.ErrUncovered, core.ErrUncovered)
+}
