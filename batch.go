@@ -1,0 +1,96 @@
+package mps
+
+// This file implements the concurrent batched query engine over
+// Structure.Instantiate — the serving hot path of the paper's Fig. 1b.
+// Inside a sizing loop (or behind cmd/mpsd) queries arrive in batches;
+// fanning them across a bounded worker pool turns the structure's
+// near-constant per-query time into near-linear multicore throughput.
+// The underlying core.Structure is safe for concurrent readers (its query
+// scratch is pooled), so workers share the structure directly with no
+// locking on the hot path.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DimQuery is one placement request: per-block widths and heights in block
+// order, exactly the arguments of Structure.Instantiate.
+type DimQuery struct {
+	Ws []int
+	Hs []int
+}
+
+// BatchResult pairs one query's instantiation result with its error, so a
+// single invalid query fails alone rather than aborting the whole batch.
+type BatchResult struct {
+	Result
+	Err error
+}
+
+// batchChunk is the number of queries a worker claims at a time. Chunking
+// amortizes the atomic fetch-add across queries; individual queries are
+// sub-microsecond, so per-query work stealing would be all contention.
+const batchChunk = 32
+
+// serialBatchThreshold is the batch size below which fan-out overhead
+// (goroutine startup, the final barrier) exceeds the parallel win and
+// InstantiateBatch runs serially instead.
+const serialBatchThreshold = 2 * batchChunk
+
+// InstantiateBatch answers every query and returns results in query order,
+// fanning the batch across a worker pool bounded by GOMAXPROCS. Small
+// batches run serially. The structure must not be mutated concurrently
+// (it never is after Generate/LoadFile return).
+func (s *Structure) InstantiateBatch(queries []DimQuery) []BatchResult {
+	return s.InstantiateBatchWorkers(queries, 0)
+}
+
+// InstantiateBatchWorkers is InstantiateBatch with an explicit worker
+// bound: workers <= 0 selects GOMAXPROCS, 1 forces serial execution.
+// Batches below serialBatchThreshold run serially regardless of workers —
+// the bound caps fan-out, it does not force it.
+func (s *Structure) InstantiateBatchWorkers(queries []DimQuery, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (len(queries) + batchChunk - 1) / batchChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 || len(queries) < serialBatchThreshold {
+		s.instantiateRange(queries, out, 0, len(queries))
+		return out
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				end := int(next.Add(batchChunk))
+				start := end - batchChunk
+				if start >= len(queries) {
+					return
+				}
+				if end > len(queries) {
+					end = len(queries)
+				}
+				s.instantiateRange(queries, out, start, end)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// instantiateRange answers queries[start:end] into out[start:end].
+func (s *Structure) instantiateRange(queries []DimQuery, out []BatchResult, start, end int) {
+	for i := start; i < end; i++ {
+		res, err := s.Instantiate(queries[i].Ws, queries[i].Hs)
+		out[i] = BatchResult{Result: res, Err: err}
+	}
+}

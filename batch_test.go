@@ -1,0 +1,160 @@
+package mps
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// batchTestStructure caches one quick TwoStageOpamp structure for the batch
+// tests so each test doesn't pay a fresh generation run.
+var batchTestStructure = struct {
+	once sync.Once
+	s    *Structure
+	err  error
+}{}
+
+func batchStructure(t *testing.T) *Structure {
+	t.Helper()
+	bt := &batchTestStructure
+	bt.once.Do(func() {
+		c, err := Benchmark("TwoStageOpamp")
+		if err != nil {
+			bt.err = err
+			return
+		}
+		bt.s, _, bt.err = Generate(c, quickOpts(1))
+	})
+	if bt.err != nil {
+		t.Fatal(bt.err)
+	}
+	return bt.s
+}
+
+// randomQueries builds in-bounds random queries; covered and uncovered
+// vectors both occur, so the backup path is exercised too.
+func randomQueries(c *Circuit, rng *rand.Rand, n int) []DimQuery {
+	qs := make([]DimQuery, n)
+	for i := range qs {
+		ws, hs := randomDims(c, rng)
+		qs[i] = DimQuery{Ws: ws, Hs: hs}
+	}
+	return qs
+}
+
+// TestInstantiateBatchMatchesSerial checks the worker pool returns, in query
+// order, exactly what serial Instantiate calls return.
+func TestInstantiateBatchMatchesSerial(t *testing.T) {
+	s := batchStructure(t)
+	rng := rand.New(rand.NewSource(42))
+	queries := randomQueries(s.Circuit(), rng, 500)
+
+	want := make([]BatchResult, len(queries))
+	for i, q := range queries {
+		res, err := s.Instantiate(q.Ws, q.Hs)
+		want[i] = BatchResult{Result: res, Err: err}
+	}
+
+	for _, workers := range []int{0, 1, 2, 8} {
+		got := s.InstantiateBatchWorkers(queries, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: batch results differ from serial execution", workers)
+		}
+	}
+}
+
+// TestInstantiateBatchInvalidQuery checks a single bad query fails alone
+// without aborting its batch.
+func TestInstantiateBatchInvalidQuery(t *testing.T) {
+	s := batchStructure(t)
+	rng := rand.New(rand.NewSource(7))
+	queries := randomQueries(s.Circuit(), rng, 8)
+	queries[3] = DimQuery{Ws: []int{1}, Hs: []int{1}} // wrong length
+
+	out := s.InstantiateBatch(queries)
+	for i, br := range out {
+		if i == 3 {
+			if br.Err == nil {
+				t.Error("invalid query 3 should carry an error")
+			}
+			continue
+		}
+		if br.Err != nil {
+			t.Errorf("query %d failed: %v", i, br.Err)
+		}
+	}
+}
+
+// TestInstantiateBatchEmptyAndSmall covers the serial fast path and the
+// zero-length batch.
+func TestInstantiateBatchEmptyAndSmall(t *testing.T) {
+	s := batchStructure(t)
+	if out := s.InstantiateBatch(nil); len(out) != 0 {
+		t.Errorf("nil batch returned %d results", len(out))
+	}
+	rng := rand.New(rand.NewSource(9))
+	queries := randomQueries(s.Circuit(), rng, 3)
+	out := s.InstantiateBatch(queries)
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3", len(out))
+	}
+	for i, br := range out {
+		if br.Err != nil {
+			t.Errorf("query %d: %v", i, br.Err)
+		}
+	}
+}
+
+// TestConcurrentInstantiate hammers one generated structure from many
+// goroutines mixing direct Instantiate calls and InstantiateBatch, and
+// asserts every answer is identical to serial execution. Run under -race
+// this is the concurrency contract test for the whole query path
+// (structure rows, pooled scratch, backup template).
+func TestConcurrentInstantiate(t *testing.T) {
+	s := batchStructure(t)
+	rng := rand.New(rand.NewSource(1234))
+	const nQueries = 400
+	queries := randomQueries(s.Circuit(), rng, nQueries)
+
+	want := make([]BatchResult, nQueries)
+	for i, q := range queries {
+		res, err := s.Instantiate(q.Ws, q.Hs)
+		want[i] = BatchResult{Result: res, Err: err}
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%3 == 0 {
+				// Whole batch through the worker pool.
+				got := s.InstantiateBatchWorkers(queries, 4)
+				for i := range got {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						errs <- "batch result diverged from serial"
+						return
+					}
+				}
+				return
+			}
+			// Direct single queries, each goroutine in its own order.
+			for k := 0; k < nQueries; k++ {
+				i := (k*7 + g*13) % nQueries
+				res, err := s.Instantiate(queries[i].Ws, queries[i].Hs)
+				if !reflect.DeepEqual(BatchResult{Result: res, Err: err}, want[i]) {
+					errs <- "single result diverged from serial"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

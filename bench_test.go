@@ -7,6 +7,7 @@ package mps
 // higher effort for the EXPERIMENTS.md numbers.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"sync"
@@ -113,6 +114,32 @@ func BenchmarkTable2Instantiation(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkInstantiateBatch sweeps the batched query engine's worker count
+// on TwoStageOpamp — the serving hot path behind cmd/mpsd. workers-1 is the
+// serial baseline; the target is >2× its throughput at workers-8. Scaling
+// is bounded by physical cores: on a single-CPU machine (GOMAXPROCS=1) all
+// worker counts converge to the serial rate.
+func BenchmarkInstantiateBatch(b *testing.B) {
+	cs := structureFor(b, "TwoStageOpamp")
+	s := &Structure{cs}
+	c := cs.Circuit()
+	rng := rand.New(rand.NewSource(5))
+	const batchSize = 4096
+	queries := randomQueries(c, rng, batchSize)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := s.InstantiateBatchWorkers(queries, workers)
+				if len(out) != batchSize {
+					b.Fatalf("got %d results", len(out))
+				}
+			}
+			b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 		})
 	}
 }

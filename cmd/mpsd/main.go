@@ -1,0 +1,132 @@
+// Command mpsd is the multi-placement-structure query daemon: it serves
+// the paper's generate-once, query-many workflow (Fig. 1) over HTTP/JSON.
+// Structures are generated on demand, cached in a bounded LRU keyed by
+// (circuit, seed, options), and batched Instantiate traffic is answered
+// through the concurrent worker pool in the mps facade.
+//
+// Usage:
+//
+//	mpsd [-addr :8723] [-cache 8] [-workers 0] [-max-batch 8192]
+//	     [-max-iterations 5000] [-preload TwoStageOpamp]
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness probe
+//	GET  /v1/circuits      list benchmark circuits
+//	GET  /v1/structures    list cached structures
+//	POST /v1/structures    generate (or fetch cached) structure for a spec
+//	POST /v1/instantiate   answer a batch of dimension queries
+//
+// Example session:
+//
+//	curl -s -X POST localhost:8723/v1/structures \
+//	  -d '{"circuit":"TwoStageOpamp","seed":1,"effort":"quick"}'
+//	curl -s -X POST localhost:8723/v1/instantiate \
+//	  -d '{"spec":{"circuit":"TwoStageOpamp","seed":1,"effort":"quick"},
+//	       "queries":[{"ws":[20,16,12,24,18],"hs":[10,8,7,12,18]}]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mps/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mpsd: ")
+
+	addr := flag.String("addr", ":8723", "listen address")
+	cacheSize := flag.Int("cache", 8, "max generated structures kept in memory (LRU)")
+	workers := flag.Int("workers", 0, "instantiate worker pool size (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 8192, "max queries per instantiate request")
+	maxIterations := flag.Int("max-iterations", 5000,
+		"cap on per-request explorer iterations (negative disables)")
+	preload := flag.String("preload", "",
+		"comma-free circuit name to generate at startup with quick effort")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		CacheSize:             *cacheSize,
+		Workers:               *workers,
+		MaxBatch:              *maxBatch,
+		MaxGenerateIterations: *maxIterations,
+	})
+
+	if *preload != "" {
+		start := time.Now()
+		spec := serve.GenerateSpec{Circuit: *preload, Effort: "quick"}
+		info, err := srv.Generate(spec)
+		if err != nil {
+			log.Fatalf("preload %s: %v", *preload, err)
+		}
+		log.Printf("preloaded %s: %d placements, %.1f%% coverage in %s",
+			*preload, info.Placements, 100*info.Coverage, time.Since(start).Round(time.Millisecond))
+	}
+
+	// ReadTimeout bounds slow-trickled request bodies (slowloris).
+	// WriteTimeout is a deliberate per-request ceiling: generations beyond
+	// it are cut off client-side but still complete and land in the cache
+	// (the sync.Once run is not tied to the connection), so a retry after
+	// the timeout is a cache hit rather than a second annealing run.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(srv.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      30 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Restore default signal handling so a second SIGINT/SIGTERM kills the
+	// process immediately, then drain: the timeout matches WriteTimeout so
+	// an in-flight cold generation is not discarded by its own shutdown.
+	stop()
+	log.Print("shutting down (interrupt again to force quit)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// logRequests is a minimal access log: method, path, status, latency.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		lw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(lw, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, lw.status,
+			time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}

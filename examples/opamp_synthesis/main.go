@@ -33,7 +33,7 @@ import (
 // opampObjective scores a sizing point: constraint penalties from the
 // analytic opamp model (with layout parasitics) plus power and area terms.
 type opampObjective struct {
-	spec perf.Spec
+	spec            perf.Spec
 	outNet, compNet int
 }
 
@@ -79,8 +79,8 @@ func main() {
 	fmt.Printf("  %d placements in %s\n\n", s.NumPlacements(), time.Since(genStart).Round(time.Millisecond))
 
 	providers := []struct {
-		name string
-		p    synth.Provider
+		name  string
+		p     synth.Provider
 		steps int
 	}{
 		{"multi-placement structure", synth.ProviderFunc(func(ws, hs []int) ([]int, []int, error) {

@@ -1,0 +1,3 @@
+module mps
+
+go 1.24

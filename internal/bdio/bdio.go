@@ -78,9 +78,9 @@ type problem struct {
 	movedDim   int // 0 = width, 1 = height
 	prevVal    int
 
-	best     float64
-	bestW    []int
-	bestH    []int
+	best  float64
+	bestW []int
+	bestH []int
 }
 
 // Propose implements anneal.Problem: perturb one block's width or height

@@ -106,11 +106,11 @@ func Names() []string {
 // compensation capacitor — 5 blocks, 9 nets, 22 pins.
 func TwoStageOpamp() *netlist.Circuit {
 	b := netlist.NewBuilder("TwoStageOpamp")
-	b.Block("DIFF", 10, 44, 6, 22)  // M1/M2 differential pair
-	b.Block("LOAD", 10, 40, 6, 20)  // M3/M4 mirror load
-	b.Block("TAIL", 6, 24, 5, 16)   // M5 tail current source
-	b.Block("DRV", 8, 48, 6, 26)    // M6 driver + M7 bias of the output stage
-	b.Block("CC", 8, 36, 8, 36)     // Miller compensation capacitor
+	b.Block("DIFF", 10, 44, 6, 22) // M1/M2 differential pair
+	b.Block("LOAD", 10, 40, 6, 20) // M3/M4 mirror load
+	b.Block("TAIL", 6, 24, 5, 16)  // M5 tail current source
+	b.Block("DRV", 8, 48, 6, 26)   // M6 driver + M7 bias of the output stage
+	b.Block("CC", 8, 36, 8, 36)    // Miller compensation capacitor
 
 	// Signal inputs: pad stub nets (gate of M1 / M2).
 	b.Net("INP", 2, netlist.T("DIFF", 0.0, 0.5))

@@ -1,1 +1,27 @@
+// Package core implements the multi-placement structure — the paper's
+// primary contribution (§2). A Structure maps any block-dimension vector
+// V = (w_1,h_1, …, w_N,h_N) to at most one stored placement via 2N interval
+// rows (Fig. 3): a width row and a height row per block, each an ascending
+// non-overlapping interval list carrying placement indices.
+//
+// The defining invariant is eq. 5, |M(V)| <= 1 for every V, enforced by
+// keeping the stored placements' 2N-dimensional dimension boxes pairwise
+// disjoint (see resolve.go). Queries on covered space return exactly one
+// placement; uncovered space falls back to a caller-provided backup
+// template (§3.1.4: "the remaining uncovered percentage of the space would
+// then be mapped to a template-like placement").
+//
+// # Concurrency
+//
+// A Structure follows the paper's generate-once, query-many life cycle
+// (Fig. 1): generation (Insert, Compact, SetBackup, SetResolveStrategy)
+// mutates the structure and must be externally serialized — the explorer
+// already does this for its parallel chains — while the query path
+// (Lookup, Query, Instantiate, Coverage and friends) is safe for any
+// number of concurrent readers once generation has finished. Queries
+// share no mutable state: the interval rows are only read, per-call
+// intersection scratch comes from an internal sync.Pool, and results are
+// copied out of the structure. Installed Backup implementations must
+// themselves be safe for concurrent Place calls (both shipped backups,
+// template and seqpair, are stateless after construction).
 package core

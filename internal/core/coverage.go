@@ -76,7 +76,7 @@ func (s *Structure) CoverageMonteCarlo(rng *rand.Rand, samples int) float64 {
 			ws[i] = b.WMin + rng.Intn(b.WMax-b.WMin+1)
 			hs[i] = b.HMin + rng.Intn(b.HMax-b.HMin+1)
 		}
-		if len(s.Lookup(ws, hs)) > 0 {
+		if _, count := s.lookupUnique(ws, hs); count > 0 {
 			hits++
 		}
 	}

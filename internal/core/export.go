@@ -40,13 +40,13 @@ type PlacementJSON struct {
 
 // StructSummaryJSON aggregates structure health metrics.
 type StructSummaryJSON struct {
-	Placements    int     `json:"placements"`
-	Coverage      float64 `json:"coverage"`
-	CoverageLog2  float64 `json:"coverage_log2"`
-	MeanAvgCost   float64 `json:"mean_avg_cost"`
-	BestBestCost  float64 `json:"best_best_cost"`
-	RowIntervals  int     `json:"row_intervals"` // total interval objects over all 2N rows
-	MaxRowLength  int     `json:"max_row_length"`
+	Placements   int     `json:"placements"`
+	Coverage     float64 `json:"coverage"`
+	CoverageLog2 float64 `json:"coverage_log2"`
+	MeanAvgCost  float64 `json:"mean_avg_cost"`
+	BestBestCost float64 `json:"best_best_cost"`
+	RowIntervals int     `json:"row_intervals"` // total interval objects over all 2N rows
+	MaxRowLength int     `json:"max_row_length"`
 }
 
 // WriteJSON exports the structure to w as indented JSON.

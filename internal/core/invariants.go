@@ -102,10 +102,10 @@ func checkRegistered(s *Structure, id, i int) error {
 	p := s.placements[id]
 	wiv, hiv := p.WIv(i), p.HIv(i)
 	for _, probe := range []struct {
-		row   interface{ Lookup(int) []int }
-		v     int
+		row    interface{ Lookup(int) []int }
+		v      int
 		wantIn bool
-		what  string
+		what   string
 	}{
 		{s.wRows[i], wiv.Lo, true, "w.Lo"},
 		{s.wRows[i], wiv.Hi, true, "w.Hi"},

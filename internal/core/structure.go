@@ -1,20 +1,9 @@
-// Package core implements the multi-placement structure — the paper's
-// primary contribution (§2). A Structure maps any block-dimension vector
-// V = (w_1,h_1, …, w_N,h_N) to at most one stored placement via 2N interval
-// rows (Fig. 3): a width row and a height row per block, each an ascending
-// non-overlapping interval list carrying placement indices.
-//
-// The defining invariant is eq. 5, |M(V)| <= 1 for every V, enforced by
-// keeping the stored placements' 2N-dimensional dimension boxes pairwise
-// disjoint (see resolve.go). Queries on covered space return exactly one
-// placement; uncovered space falls back to a caller-provided backup
-// template (§3.1.4: "the remaining uncovered percentage of the space would
-// then be mapped to a template-like placement").
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"mps/internal/geom"
 	"mps/internal/intervalmap"
@@ -34,6 +23,8 @@ type Backup interface {
 var ErrUncovered = errors.New("core: dimension vector not covered by any stored placement")
 
 // Structure is a multi-placement structure for one circuit topology.
+// Once generation is done it is safe for concurrent readers; see the
+// package documentation for the full concurrency contract.
 type Structure struct {
 	circuit *netlist.Circuit
 	fp      geom.Rect
@@ -50,8 +41,9 @@ type Structure struct {
 	// resolveStrategy selects the shrink row during overlap resolution.
 	resolveStrategy ResolveRowStrategy
 
-	// buf is scratch space for query intersection.
-	buf []int
+	// scratch pools query-intersection buffers so concurrent Lookup calls
+	// never share scratch space (holds *[]int).
+	scratch sync.Pool
 }
 
 // NewStructure returns an empty structure for the circuit on the given
@@ -181,9 +173,53 @@ func (s *Structure) shrinkRow(p *placement.Placement, block, dim int, newIv geom
 // Lookup returns the IDs of all stored placements covering the dimension
 // vector — the raw intersection of eq. 4 before the |M(V)| = 1 check.
 // The result is nil when uncovered and shares no memory with the rows.
+// Lookup is safe for concurrent use: intersection scratch is taken from a
+// per-structure pool, never shared between calls.
 func (s *Structure) Lookup(ws, hs []int) []int {
+	sp, acc := s.intersectScratch(ws, hs)
+	var out []int
+	if len(acc) > 0 {
+		out = make([]int, len(acc))
+		copy(out, acc)
+	}
+	s.putScratch(sp, acc)
+	return out
+}
+
+// lookupUnique is the allocation-free hot path behind Lookup and Query: it
+// returns the covering placement ID and the intersection size, without
+// copying the full ID set out. count > 1 (an eq.5 violation) returns an
+// arbitrary covering ID.
+func (s *Structure) lookupUnique(ws, hs []int) (id, count int) {
+	sp, acc := s.intersectScratch(ws, hs)
+	id, count = -1, len(acc)
+	if count > 0 {
+		id = acc[0]
+	}
+	s.putScratch(sp, acc)
+	return id, count
+}
+
+// intersectScratch runs the eq. 4 intersection in a pooled buffer. Callers
+// must hand both return values to putScratch once done reading acc.
+func (s *Structure) intersectScratch(ws, hs []int) (sp *[]int, acc []int) {
+	sp, _ = s.scratch.Get().(*[]int)
+	if sp == nil {
+		sp = new([]int)
+	}
+	return sp, s.intersectInto((*sp)[:0], ws, hs)
+}
+
+// putScratch returns a buffer obtained from intersectScratch to the pool,
+// keeping any capacity acc grew to.
+func (s *Structure) putScratch(sp *[]int, acc []int) {
+	*sp = acc[:0]
+	s.scratch.Put(sp)
+}
+
+// intersectInto computes the eq. 4 row intersection into acc and returns it.
+func (s *Structure) intersectInto(acc []int, ws, hs []int) []int {
 	n := s.circuit.N()
-	acc := s.buf[:0]
 	first := true
 	for i := 0; i < n; i++ {
 		for dim := 0; dim < 2; dim++ {
@@ -194,25 +230,20 @@ func (s *Structure) Lookup(ws, hs []int) []int {
 				ids = s.hRows[i].Lookup(hs[i])
 			}
 			if len(ids) == 0 {
-				s.buf = acc[:0]
-				return nil
+				return acc[:0]
 			}
 			if first {
-				acc = append(acc, ids...)
+				acc = append(acc[:0], ids...)
 				first = false
 				continue
 			}
 			acc = intersectSorted(acc, ids)
 			if len(acc) == 0 {
-				s.buf = acc
-				return nil
+				return acc
 			}
 		}
 	}
-	s.buf = acc
-	out := make([]int, len(acc))
-	copy(out, acc)
-	return out
+	return acc
 }
 
 // Result is a placement instantiation: anchors for every block plus the
@@ -235,15 +266,15 @@ func (s *Structure) Query(ws, hs []int) (*placement.Placement, error) {
 	if err := s.checkDims(ws, hs); err != nil {
 		return nil, err
 	}
-	ids := s.Lookup(ws, hs)
-	switch len(ids) {
+	id, count := s.lookupUnique(ws, hs)
+	switch count {
 	case 0:
 		return nil, ErrUncovered
 	case 1:
-		return s.placements[ids[0]], nil
+		return s.placements[id], nil
 	}
 	return nil, fmt.Errorf("core: eq.5 violated — %d placements cover one dimension vector: %v",
-		len(ids), ids)
+		count, s.Lookup(ws, hs))
 }
 
 // Instantiate answers a synthesis-loop placement request: given block

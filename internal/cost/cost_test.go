@@ -150,10 +150,10 @@ func TestDistToBoundary(t *testing.T) {
 		p    geom.Point
 		want int
 	}{
-		{geom.Point{X: 50, Y: 25}, 25}, // center: nearest is top/bottom
-		{geom.Point{X: 3, Y: 25}, 3},   // near left edge
-		{geom.Point{X: 97, Y: 25}, 3},  // near right edge
-		{geom.Point{X: 50, Y: 2}, 2},   // near bottom
+		{geom.Point{X: 50, Y: 25}, 25},  // center: nearest is top/bottom
+		{geom.Point{X: 3, Y: 25}, 3},    // near left edge
+		{geom.Point{X: 97, Y: 25}, 3},   // near right edge
+		{geom.Point{X: 50, Y: 2}, 2},    // near bottom
 		{geom.Point{X: 200, Y: 200}, 0}, // outside
 	}
 	for _, tc := range tests {

@@ -26,8 +26,8 @@ func symLayout(t *testing.T, xs, ys []int) *Layout {
 		t.Fatal(err)
 	}
 	return &Layout{
-		Circuit:   c,
-		X:         xs, Y: ys,
+		Circuit: c,
+		X:       xs, Y: ys,
 		W:         []int{8, 8, 8},
 		H:         []int{8, 8, 8},
 		Floorplan: geom.NewRect(0, 0, 100, 100),

@@ -82,7 +82,7 @@ func RunFigure5(s *core.Structure) (Figure5, error) {
 // series shows the cost of the placement the structure actually selects —
 // the lowest-cost selection behaviour.
 type Figure6 struct {
-	SweepBlock  int     // block whose width is swept
+	SweepBlock  int // block whose width is swept
 	SweepValues []int
 	// PlacementIDs are the stored placements plotted as fixed templates
 	// (the distinct placements the structure selected along the sweep).

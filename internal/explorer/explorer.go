@@ -104,6 +104,7 @@ type Stats struct {
 	Stored         int // placements that survived resolve (pieces counted once per insert)
 	CandidatesDied int
 	Accepted       int
+	Chains         int // explorer chains that fed the structure
 	BestAvgCost    float64
 	FinalCoverage  float64
 	Duration       time.Duration
@@ -120,6 +121,7 @@ func Generate(c *netlist.Circuit, cfg Config) (*core.Structure, Stats, error) {
 	start := time.Now()
 	var stats Stats
 	stats.BestAvgCost = math.Inf(1)
+	stats.Chains = cfg.Chains
 
 	if cfg.Chains == 1 {
 		if err := runChain(c, s, cfg, 0, rand.New(rand.NewSource(cfg.Seed)), &stats, nil); err != nil {

@@ -249,8 +249,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 func TestFromSnapshotRejectsBadInput(t *testing.T) {
 	bad := [][]Span{
-		{{Iv: iv(5, 4), IDs: []int{0}}},                          // empty interval
-		{{Iv: iv(0, 5), IDs: nil}},                               // no ids
+		{{Iv: iv(5, 4), IDs: []int{0}}},                                // empty interval
+		{{Iv: iv(0, 5), IDs: nil}},                                     // no ids
 		{{Iv: iv(0, 5), IDs: []int{0}}, {Iv: iv(3, 8), IDs: []int{1}}}, // overlap
 	}
 	for i, spans := range bad {

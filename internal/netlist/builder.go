@@ -6,9 +6,9 @@ import "fmt"
 // turning name-based wiring into index-based pins. It is the convenient way
 // to author benchmark circuits.
 type Builder struct {
-	c    *Circuit
+	c      *Circuit
 	byName map[string]int
-	err  error
+	err    error
 }
 
 // NewBuilder returns a Builder for a circuit with the given name.

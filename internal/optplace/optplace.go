@@ -74,9 +74,9 @@ type problem struct {
 	prevXI, prevYI int
 	prevXJ, prevYJ int
 
-	best     float64
-	bestX    []int
-	bestY    []int
+	best  float64
+	bestX []int
+	bestY []int
 }
 
 // Propose implements anneal.Problem.

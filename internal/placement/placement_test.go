@@ -219,10 +219,10 @@ func TestPerturbMovesSomething(t *testing.T) {
 func TestWrapToroidal(t *testing.T) {
 	cases := []struct{ v, lo, hi, want int }{
 		{5, 0, 9, 5},
-		{12, 0, 9, 2},  // wraps past hi
-		{-3, 0, 9, 7},  // wraps below lo
-		{10, 0, 9, 0},  // exactly one past
-		{25, 3, 7, 5},  // offset range: span 5, (25-3)%5=2 -> 5
+		{12, 0, 9, 2}, // wraps past hi
+		{-3, 0, 9, 7}, // wraps below lo
+		{10, 0, 9, 0}, // exactly one past
+		{25, 3, 7, 5}, // offset range: span 5, (25-3)%5=2 -> 5
 	}
 	for _, tc := range cases {
 		if got := wrap(tc.v, tc.lo, tc.hi); got != tc.want {

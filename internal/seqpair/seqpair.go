@@ -6,9 +6,10 @@
 //
 // In this repository sequence pairs serve two roles: a compacting
 // alternative to the slicing-tree template as the multi-placement
-// structure's backup (Pack produces tighter layouts than a balanced tree),
-// and a second optimization-based baseline whose every visited state is
-// legal by construction.
+// structure's uncovered-space backup (paper §3.1.4's "template-like
+// placement"; Pack produces tighter layouts than a balanced tree), and a
+// second optimization-based baseline (paper §1's per-iteration placement
+// optimization) whose every visited state is legal by construction.
 package seqpair
 
 import (

@@ -119,10 +119,10 @@ func TestPositionsAlwaysLegal(t *testing.T) {
 
 func TestValidateRejectsBadPairs(t *testing.T) {
 	bad := []SeqPair{
-		{Plus: []int{0, 1}, Minus: []int{0}},       // length mismatch
-		{Plus: []int{0, 0}, Minus: []int{0, 1}},    // duplicate
-		{Plus: []int{0, 2}, Minus: []int{0, 1}},    // out of range
-		{Plus: []int{0, -1}, Minus: []int{0, 1}},   // negative
+		{Plus: []int{0, 1}, Minus: []int{0}},     // length mismatch
+		{Plus: []int{0, 0}, Minus: []int{0, 1}},  // duplicate
+		{Plus: []int{0, 2}, Minus: []int{0, 1}},  // out of range
+		{Plus: []int{0, -1}, Minus: []int{0, 1}}, // negative
 	}
 	for i, sp := range bad {
 		if err := sp.Validate(); err == nil {

@@ -1,0 +1,669 @@
+// Package serve implements the HTTP/JSON placement query engine behind
+// cmd/mpsd. It operationalizes the paper's Figure 1 split for a service
+// setting: structures are generated once per (circuit, seed, options) key
+// and held in a bounded LRU cache (Fig. 1a), and batched Instantiate
+// traffic — the hot path of a layout-inclusive sizing loop (Fig. 1b,
+// §3.3) — is answered from the cached structure through the facade's
+// concurrent InstantiateBatch worker pool.
+//
+// Generation requests for the same key are deduplicated: concurrent
+// clients share one generation run (per-entry sync.Once) and all block on
+// its completion, so a thundering herd costs one annealing run, not N.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mps"
+	"mps/internal/circuits"
+)
+
+// Config tunes a Server. The zero value is a sensible default.
+type Config struct {
+	// CacheSize bounds the number of generated structures kept in memory
+	// (LRU eviction). Default 8.
+	CacheSize int
+	// Workers bounds the per-request InstantiateBatch worker pool.
+	// 0 uses GOMAXPROCS.
+	Workers int
+	// MaxConcurrentBatches bounds how many instantiate batches execute at
+	// once server-wide (each uses up to Workers goroutines); excess
+	// requests queue. Keeps N concurrent clients from oversubscribing the
+	// CPU with N×Workers runnable goroutines. Default 4.
+	MaxConcurrentBatches int
+	// MaxConcurrentGenerations bounds how many structure generations run
+	// at once server-wide. Dedup only collapses identical specs; this
+	// stops a sweep of distinct seeds from launching unbounded annealing
+	// runs. Excess generation requests queue. Default 2.
+	MaxConcurrentGenerations int
+	// MaxBatch caps queries per instantiate request. It also sizes the
+	// request body limit (~1 KiB per query), so it bounds per-request
+	// decode memory: the default 8192 keeps any one request under ~8 MiB.
+	MaxBatch int
+	// MaxGenerateIterations caps the explorer budget a request may ask
+	// for, protecting the daemon from hours-scale generation requests.
+	// The same cap bounds bdio_steps, and chains is bounded by
+	// maxChains, so no request field multiplies the work unboundedly.
+	// Default 5000. Set negative to disable the cap.
+	MaxGenerateIterations int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 8
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8192
+	}
+	if cfg.MaxGenerateIterations == 0 {
+		cfg.MaxGenerateIterations = 5000
+	}
+	if cfg.MaxConcurrentBatches <= 0 {
+		cfg.MaxConcurrentBatches = 4
+	}
+	if cfg.MaxConcurrentGenerations <= 0 {
+		cfg.MaxConcurrentGenerations = 2
+	}
+	return cfg
+}
+
+// Server is the query engine: an LRU cache of generated structures plus
+// the HTTP handlers that fill and query it. Safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	// batchSlots and genSlots are semaphores bounding concurrent batch
+	// executions and structure generations to their configured maxima.
+	batchSlots chan struct{}
+	genSlots   chan struct{}
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	order *list.List // front = most recently used; values are *entry
+}
+
+// entry is one cached (or in-flight) generation. The once gates the
+// actual Generate call so concurrent requests for the same key share it.
+type entry struct {
+	key  string
+	spec GenerateSpec
+	elem *list.Element
+
+	// waiters counts requests currently interested in this entry; the
+	// queued-generation cancel path only fires when the canceling request
+	// is the sole waiter, so one flaky client cannot fail a patient herd.
+	waiters atomic.Int64
+
+	once sync.Once
+	// done and the fields below are written exactly once, under the server
+	// mutex, when generation finishes. Readers must either hold the mutex
+	// and check done, or have returned from once.Do (which orders the
+	// writes before its return). placements and coverage snapshot the
+	// structure at publish time so listing the cache never walks structure
+	// internals while holding the global mutex.
+	done       bool
+	s          *mps.Structure
+	stats      mps.Stats
+	placements int
+	coverage   float64
+	err        error
+}
+
+// New returns a Server ready to serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:        cfg,
+		batchSlots: make(chan struct{}, cfg.MaxConcurrentBatches),
+		genSlots:   make(chan struct{}, cfg.MaxConcurrentGenerations),
+		cache:      make(map[string]*entry),
+		order:      list.New(),
+	}
+}
+
+// GenerateSpec identifies a structure: the circuit plus every Generate
+// option that affects the result. It doubles as the cache key source.
+type GenerateSpec struct {
+	Circuit       string `json:"circuit"`
+	Seed          int64  `json:"seed"`
+	Effort        string `json:"effort,omitempty"` // quick | balanced | thorough
+	Iterations    int    `json:"iterations,omitempty"`
+	BDIOSteps     int    `json:"bdio_steps,omitempty"`
+	Chains        int    `json:"chains,omitempty"`
+	MaxPlacements int    `json:"max_placements,omitempty"`
+	Backup        string `json:"backup,omitempty"` // tree | seqpair
+}
+
+// normalize validates the spec and fills implied defaults so equivalent
+// specs map to one cache key.
+func (g *GenerateSpec) normalize() error {
+	if g.Circuit == "" {
+		return fmt.Errorf("missing circuit")
+	}
+	if _, err := circuits.ByName(g.Circuit); err != nil {
+		return err
+	}
+	switch g.Effort {
+	case "":
+		g.Effort = "balanced"
+	case "quick", "balanced", "thorough":
+	default:
+		return fmt.Errorf("unknown effort %q (want quick, balanced, or thorough)", g.Effort)
+	}
+	switch g.Backup {
+	case "":
+		g.Backup = "tree"
+	case "tree", "seqpair":
+	default:
+		return fmt.Errorf("unknown backup %q (want tree or seqpair)", g.Backup)
+	}
+	if g.Iterations < 0 || g.BDIOSteps < 0 || g.Chains < 0 || g.MaxPlacements < 0 {
+		return fmt.Errorf("negative budget")
+	}
+	// Canonicalize the 0-means-default budget fields so provably identical
+	// specs share one cache key (and one generation run): resolve effort
+	// presets into concrete budgets and fold chains 0 to the single chain
+	// the explorer runs anyway.
+	g.Iterations, g.BDIOSteps = g.options().Budgets()
+	if g.Chains == 0 {
+		g.Chains = 1
+	}
+	return nil
+}
+
+// key derives the cache key from the fields that affect the generated
+// structure. Effort is deliberately absent: normalize resolved it into
+// concrete Iterations/BDIOSteps, so two specs differing only in how they
+// named the same budgets share one entry.
+func (g GenerateSpec) key() string {
+	return fmt.Sprintf("%s|seed=%d|it=%d|bdio=%d|chains=%d|maxp=%d|backup=%s",
+		g.Circuit, g.Seed, g.Iterations, g.BDIOSteps, g.Chains, g.MaxPlacements, g.Backup)
+}
+
+func (g GenerateSpec) options() mps.Options {
+	effort := mps.EffortBalanced
+	switch g.Effort {
+	case "quick":
+		effort = mps.EffortQuick
+	case "thorough":
+		effort = mps.EffortThorough
+	}
+	backup := mps.BackupSlicingTree
+	if g.Backup == "seqpair" {
+		backup = mps.BackupSequencePair
+	}
+	return mps.Options{
+		Seed:          g.Seed,
+		Iterations:    g.Iterations,
+		BDIOSteps:     g.BDIOSteps,
+		Effort:        effort,
+		Chains:        g.Chains,
+		MaxPlacements: g.MaxPlacements,
+		Backup:        backup,
+	}
+}
+
+// maxChains bounds the chains a request may ask for regardless of the
+// iteration cap — each chain is a full explorer run.
+const maxChains = 64
+
+// checkBudget rejects generation requests whose annealing budget exceeds
+// the daemon's cap. Every path that can trigger a generation — POST
+// /v1/structures, POST /v1/instantiate with an inline spec, and the
+// programmatic Generate — must pass through it.
+func (s *Server) checkBudget(g GenerateSpec) error {
+	if g.Chains > maxChains {
+		return fmt.Errorf("chains %d exceeds daemon cap %d", g.Chains, maxChains)
+	}
+	limit := s.cfg.MaxGenerateIterations
+	if limit < 0 {
+		return nil
+	}
+	if g.Iterations > limit {
+		return fmt.Errorf("iterations %d exceeds daemon cap %d", g.Iterations, limit)
+	}
+	if g.BDIOSteps > limit {
+		return fmt.Errorf("bdio_steps %d exceeds daemon cap %d", g.BDIOSteps, limit)
+	}
+	return nil
+}
+
+// evictLocked shrinks the cache to its bound, least-recently-used first.
+// In-flight entries are skipped so an eviction can never duplicate a
+// running generation; the cache may transiently exceed its bound while
+// herds generate, which is why publication re-runs this pass. Callers must
+// hold s.mu.
+func (s *Server) evictLocked() {
+	for s.order.Len() > s.cfg.CacheSize {
+		var victim *list.Element
+		for el := s.order.Back(); el != nil; el = el.Prev() {
+			if el.Value.(*entry).done {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.order.Remove(victim)
+		delete(s.cache, victim.Value.(*entry).key)
+	}
+}
+
+// structureFor returns the cached structure for the spec, generating it on
+// first use. Generation runs outside the cache lock; concurrent callers
+// for one key share a single run. The returned bool reports a true cache
+// hit — the entry had already finished generating — not merely landing on
+// an in-flight entry and waiting for it.
+func (s *Server) structureFor(ctx context.Context, spec GenerateSpec) (*entry, bool, error) {
+	key := spec.key()
+
+	s.mu.Lock()
+	e, hit := s.cache[key]
+	wasDone := hit && e.done
+	if !hit {
+		e = &entry{key: key, spec: spec}
+		e.elem = s.order.PushFront(e)
+		s.cache[key] = e
+		s.evictLocked()
+	} else {
+		s.order.MoveToFront(e.elem)
+	}
+	e.waiters.Add(1)
+	defer e.waiters.Add(-1)
+	s.mu.Unlock()
+
+	e.once.Do(func() {
+		var st *mps.Structure
+		var stats mps.Stats
+		var err error
+		// Queued-but-not-started work is droppable: if the requesting
+		// client disconnects while waiting for a generation slot and no
+		// other request shares this entry, fail it (it is removed below,
+		// so a later request retries). With other live waiters — they are
+		// blocked in once.Do and cannot abandon — keep waiting and finish
+		// the job for them. Once a slot is held the run always completes;
+		// finished work lands in the cache even if every client has gone.
+		select {
+		case s.genSlots <- struct{}{}:
+			defer func() { <-s.genSlots }()
+		case <-ctx.Done():
+			// The waiter check, the cancel publication, and the cache
+			// removal share the cache mutex with waiter registration, so a
+			// request that joined before this point is always counted, and
+			// one arriving after never finds the canceled entry.
+			s.mu.Lock()
+			alone := e.waiters.Load() <= 1
+			if alone {
+				e.err, e.done = fmt.Errorf("generation canceled while queued: %w", ctx.Err()), true
+				s.removeLocked(e)
+			}
+			s.mu.Unlock()
+			if alone {
+				return
+			}
+			s.genSlots <- struct{}{}
+			defer func() { <-s.genSlots }()
+		}
+		func() {
+			// A panicking generator must not poison the entry: record it
+			// as a failure so the entry is dropped and later requests
+			// retry instead of nil-dereferencing forever.
+			defer func() {
+				if r := recover(); r != nil {
+					st, err = nil, fmt.Errorf("generation panic: %v", r)
+				}
+			}()
+			var circuit *mps.Circuit
+			circuit, err = mps.Benchmark(spec.Circuit)
+			if err == nil {
+				st, stats, err = mps.Generate(circuit, spec.options())
+			}
+		}()
+		var placements int
+		var coverage float64
+		if st != nil {
+			placements = st.NumPlacements()
+			// FinalCoverage is exact here: Compact (run inside
+			// mps.Generate) merges fragments without changing covered
+			// volume, so no recompute is needed.
+			coverage = stats.FinalCoverage
+		}
+		// Publish under the cache lock so handlers that find the entry in
+		// the cache (rather than through once.Do) read a consistent result,
+		// and drop failed generations in the same critical section so no
+		// request can observe a cached entry carrying another client's
+		// error — later requests miss and retry instead.
+		// Re-run eviction: this entry was un-evictable while in flight, so
+		// the cache may be over its bound with no future miss to shrink it.
+		s.mu.Lock()
+		e.s, e.stats, e.err, e.done = st, stats, err, true
+		e.placements, e.coverage = placements, coverage
+		if err != nil {
+			s.removeLocked(e)
+		}
+		s.evictLocked()
+		s.mu.Unlock()
+	})
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	return e, wasDone, nil
+}
+
+// removeLocked deletes e from the cache and LRU order if still present.
+// Callers must hold s.mu.
+func (s *Server) removeLocked(e *entry) {
+	if cur, ok := s.cache[e.key]; ok && cur == e {
+		s.order.Remove(e.elem)
+		delete(s.cache, e.key)
+	}
+}
+
+// lookup returns the cached entry for key without generating. Only entries
+// whose generation has finished successfully are returned; the done check
+// under the mutex makes the entry's fields safe to read after return.
+func (s *Server) lookup(key string) (*entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cache[key]
+	if !ok || !e.done || e.err != nil {
+		return nil, false
+	}
+	s.order.MoveToFront(e.elem)
+	return e, true
+}
+
+// Handler returns the daemon's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/circuits", s.handleCircuits)
+	mux.HandleFunc("/v1/structures", s.handleStructures)
+	mux.HandleFunc("/v1/instantiate", s.handleInstantiate)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// circuitInfo is one row of the /v1/circuits listing.
+type circuitInfo struct {
+	Name      string `json:"name"`
+	Blocks    int    `json:"blocks"`
+	Nets      int    `json:"nets"`
+	Terminals int    `json:"terminals"`
+}
+
+func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	var out []circuitInfo
+	for _, name := range circuits.Names() {
+		c := circuits.MustByName(name)
+		// Table 1's "Terminals" column counts block pins (see the
+		// circuits package doc), so report PinCount, not boundary pads.
+		out = append(out, circuitInfo{
+			Name:      c.Name,
+			Blocks:    c.N(),
+			Nets:      len(c.Nets),
+			Terminals: c.PinCount(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"circuits": out})
+}
+
+// StructureInfo describes one generated structure to clients.
+type StructureInfo struct {
+	Key        string       `json:"key"`
+	Spec       GenerateSpec `json:"spec"`
+	Cached     bool         `json:"cached"` // true when served from cache
+	Placements int          `json:"placements"`
+	Coverage   float64      `json:"coverage"`
+	Stats      *mps.Stats   `json:"stats,omitempty"`
+}
+
+// clientError wraps validation failures so HTTP handlers can map them to
+// 400 while generation failures stay 500.
+type clientError struct{ err error }
+
+func (e clientError) Error() string { return e.err.Error() }
+func (e clientError) Unwrap() error { return e.err }
+
+// generateErrorStatus maps a generate/structureFor error to its HTTP
+// status: 400 for validation, 503 for requests shed while queued (so the
+// access log does not count shed load as server faults), 500 otherwise.
+func generateErrorStatus(err error) int {
+	var ce clientError
+	switch {
+	case errors.As(err, &ce):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// Generate generates (or fetches from cache) the structure for spec — the
+// single generation entry point shared by POST /v1/structures, cmd/mpsd's
+// -preload flag, and tests.
+func (s *Server) Generate(spec GenerateSpec) (StructureInfo, error) {
+	return s.generate(context.Background(), spec)
+}
+
+// entryFor is the single validation + generation pipeline behind every
+// generating path (POST /v1/structures, the /v1/instantiate inline-spec
+// branch, Generate): normalize, budget-check, then fetch or generate.
+// Validation failures come back as clientError; a request abandoned while
+// queued for a generation slot is dropped.
+func (s *Server) entryFor(ctx context.Context, spec GenerateSpec) (*entry, bool, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, false, clientError{err}
+	}
+	if err := s.checkBudget(spec); err != nil {
+		return nil, false, clientError{err}
+	}
+	return s.structureFor(ctx, spec)
+}
+
+// generate is Generate with a cancellation context.
+func (s *Server) generate(ctx context.Context, spec GenerateSpec) (StructureInfo, error) {
+	e, hit, err := s.entryFor(ctx, spec)
+	if err != nil {
+		return StructureInfo{}, err
+	}
+	stats := e.stats
+	return StructureInfo{
+		Key:        e.key,
+		Spec:       e.spec,
+		Cached:     hit,
+		Placements: e.placements,
+		Coverage:   e.coverage,
+		Stats:      &stats,
+	}, nil
+}
+
+func (s *Server) handleStructures(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		out := []StructureInfo{}
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			if !e.done || e.err != nil {
+				continue // still generating or failed
+			}
+			out = append(out, StructureInfo{
+				Key:        e.key,
+				Spec:       e.spec,
+				Cached:     true,
+				Placements: e.placements,
+				Coverage:   e.coverage,
+			})
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"structures": out})
+	case http.MethodPost:
+		var spec GenerateSpec
+		if err := decodeJSON(w, r, &spec, 4096); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		info, err := s.generate(r.Context(), spec)
+		if err != nil {
+			writeError(w, generateErrorStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// instantiateRequest is a batched query: address a structure by cache key
+// (from POST /v1/structures) or inline spec, plus the dimension queries.
+type instantiateRequest struct {
+	Key     string        `json:"key,omitempty"`
+	Spec    *GenerateSpec `json:"spec,omitempty"`
+	Queries []dimQuery    `json:"queries"`
+}
+
+type dimQuery struct {
+	Ws []int `json:"ws"`
+	Hs []int `json:"hs"`
+}
+
+// queryResult is one query's answer. Error is set instead of anchors when
+// the query itself was invalid (e.g. out-of-bounds dimensions).
+type queryResult struct {
+	X           []int  `json:"x,omitempty"`
+	Y           []int  `json:"y,omitempty"`
+	PlacementID int    `json:"placement_id"`
+	FromBackup  bool   `json:"from_backup"`
+	Error       string `json:"error,omitempty"`
+}
+
+func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req instantiateRequest
+	if err := decodeJSON(w, r, &req, 4096+int64(s.cfg.MaxBatch)*maxQueryBytes); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds max %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+
+	var e *entry
+	switch {
+	case req.Key != "" && req.Spec != nil:
+		// Refuse ambiguous addressing rather than silently answering from
+		// one structure while the client meant the other.
+		writeError(w, http.StatusBadRequest, "provide key or spec, not both")
+		return
+	case req.Key != "":
+		cached, ok := s.lookup(req.Key)
+		if !ok {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("structure %q not cached — POST /v1/structures first", req.Key))
+			return
+		}
+		e = cached
+	case req.Spec != nil:
+		var err error
+		e, _, err = s.entryFor(r.Context(), *req.Spec)
+		if err != nil {
+			writeError(w, generateErrorStatus(err), err.Error())
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "need key or spec")
+		return
+	}
+
+	queries := make([]mps.DimQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = mps.DimQuery{Ws: q.Ws, Hs: q.Hs}
+	}
+	// The batch slot wraps only the CPU fan-out — holding it across decode
+	// or a cold generation would let a handful of slow requests starve
+	// sub-millisecond cached traffic. Requests shed while queued get a 503
+	// so the access log does not count shed load as success. Per-request
+	// decode memory is bounded by MaxBatch (see withDefaults).
+	select {
+	case s.batchSlots <- struct{}{}:
+		defer func() { <-s.batchSlots }()
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "canceled while queued for a batch slot")
+		return
+	}
+	batch := e.s.InstantiateBatchWorkers(queries, s.cfg.Workers)
+
+	results := make([]queryResult, len(batch))
+	served := 0
+	for i, br := range batch {
+		if br.Err != nil {
+			results[i] = queryResult{PlacementID: -1, Error: br.Err.Error()}
+			continue
+		}
+		served++
+		results[i] = queryResult{
+			X:           br.X,
+			Y:           br.Y,
+			PlacementID: br.PlacementID,
+			FromBackup:  br.FromBackup,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":     e.key,
+		"served":  served,
+		"results": results,
+	})
+}
+
+// maxQueryBytes is a generous upper bound on the JSON size of one
+// dimension query (two int arrays for the largest benchmark's 24 blocks).
+const maxQueryBytes = 1024
+
+// decodeJSON strictly decodes the request body into v, refusing bodies
+// over limit bytes so the batch/spec caps also bound per-request memory.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// writeJSON emits compact JSON: instantiate responses carry up to MaxBatch
+// results, so pretty-printing would roughly double hot-path bytes.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": strings.TrimSpace(msg)})
+}

@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mps/internal/circuits"
+)
+
+// testSpec is a seconds-scale generation spec for the smallest circuit.
+func testSpec(seed int64) GenerateSpec {
+	return GenerateSpec{Circuit: "circ01", Seed: seed, Effort: "quick", Iterations: 20, BDIOSteps: 40}
+}
+
+// testQuery returns an in-bounds dimension query for circ01: variant 0 is
+// every block at mid-range, variant 1 leans low/high alternately.
+func testQuery(t *testing.T, variant int) map[string][]int {
+	t.Helper()
+	c := circuits.MustByName("circ01")
+	ws := make([]int, c.N())
+	hs := make([]int, c.N())
+	for i, b := range c.Blocks {
+		switch variant {
+		case 0:
+			ws[i] = (b.WMin + b.WMax) / 2
+			hs[i] = (b.HMin + b.HMax) / 2
+		default:
+			if i%2 == 0 {
+				ws[i], hs[i] = b.WMin, b.HMax
+			} else {
+				ws[i], hs[i] = b.WMax, b.HMin
+			}
+		}
+	}
+	return map[string][]int{"ws": ws, "hs": hs}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
+			t.Fatalf("decode %s: %v\nbody: %s", url, err, raw.String())
+		}
+	}
+	return resp.StatusCode, raw.String()
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndCircuits(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	var listing struct {
+		Circuits []struct {
+			Name   string `json:"name"`
+			Blocks int    `json:"blocks"`
+		} `json:"circuits"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/circuits", &listing); code != http.StatusOK {
+		t.Fatalf("circuits: %d", code)
+	}
+	if len(listing.Circuits) != 9 {
+		t.Fatalf("got %d circuits, want 9 (Table 1)", len(listing.Circuits))
+	}
+}
+
+// TestGenerateThenInstantiate is the wire-level happy path: POST a
+// generation spec, then answer a batch of queries addressed by cache key.
+func TestGenerateThenInstantiate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var info StructureInfo
+	code, body := postJSON(t, ts.URL+"/v1/structures", testSpec(1), &info)
+	if code != http.StatusOK {
+		t.Fatalf("generate: %d %s", code, body)
+	}
+	if info.Key == "" || info.Placements == 0 {
+		t.Fatalf("bad structure info: %+v", info)
+	}
+	if info.Cached {
+		t.Error("first generation reported as cache hit")
+	}
+
+	// Second POST of the same spec must hit the cache.
+	var again StructureInfo
+	code, body = postJSON(t, ts.URL+"/v1/structures", testSpec(1), &again)
+	if code != http.StatusOK {
+		t.Fatalf("regenerate: %d %s", code, body)
+	}
+	if !again.Cached {
+		t.Error("identical spec did not hit the cache")
+	}
+
+	req := map[string]any{
+		"key":     info.Key,
+		"queries": []map[string][]int{testQuery(t, 0), testQuery(t, 1)},
+	}
+	var out struct {
+		Key     string `json:"key"`
+		Served  int    `json:"served"`
+		Results []struct {
+			X           []int  `json:"x"`
+			Y           []int  `json:"y"`
+			PlacementID int    `json:"placement_id"`
+			Error       string `json:"error"`
+		} `json:"results"`
+	}
+	code, body = postJSON(t, ts.URL+"/v1/instantiate", req, &out)
+	if code != http.StatusOK {
+		t.Fatalf("instantiate: %d %s", code, body)
+	}
+	if out.Served != 2 || len(out.Results) != 2 {
+		t.Fatalf("served %d of %d results: %s", out.Served, len(out.Results), body)
+	}
+	for i, r := range out.Results {
+		if r.Error != "" || len(r.X) != 4 || len(r.Y) != 4 {
+			t.Errorf("result %d malformed: %+v", i, r)
+		}
+	}
+
+	// Addressing by inline spec must also work (and hit the cache).
+	req2 := map[string]any{"spec": testSpec(1), "queries": req["queries"]}
+	code, body = postJSON(t, ts.URL+"/v1/instantiate", req2, &out)
+	if code != http.StatusOK || out.Served != 2 {
+		t.Fatalf("instantiate by spec: %d %s", code, body)
+	}
+
+	// The structure listing shows the cached entry.
+	var ls struct {
+		Structures []StructureInfo `json:"structures"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/structures", &ls); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(ls.Structures) != 1 || ls.Structures[0].Key != info.Key {
+		t.Fatalf("listing wrong: %+v", ls.Structures)
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 2})
+
+	// Unknown key is a 404, not an implicit generation.
+	code, _ := postJSON(t, ts.URL+"/v1/instantiate", map[string]any{
+		"key":     "nope",
+		"queries": []map[string][]int{{"ws": {1}, "hs": {1}}},
+	}, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("unknown key: got %d, want 404", code)
+	}
+
+	// Batches above MaxBatch are rejected.
+	qs := make([]map[string][]int, 3)
+	for i := range qs {
+		qs[i] = map[string][]int{"ws": {12, 12, 12, 12}, "hs": {12, 12, 12, 12}}
+	}
+	code, _ = postJSON(t, ts.URL+"/v1/instantiate", map[string]any{
+		"spec": testSpec(1), "queries": qs,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("oversized batch: got %d, want 400", code)
+	}
+
+	// Supplying both key and spec is ambiguous and refused.
+	code, _ = postJSON(t, ts.URL+"/v1/instantiate", map[string]any{
+		"key":     "whatever",
+		"spec":    testSpec(1),
+		"queries": []map[string][]int{testQuery(t, 0)},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("key+spec: got %d, want 400", code)
+	}
+
+	// Missing both key and spec.
+	code, _ = postJSON(t, ts.URL+"/v1/instantiate", map[string]any{
+		"queries": []map[string][]int{{"ws": {1}, "hs": {1}}},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("missing key/spec: got %d, want 400", code)
+	}
+
+	// The inline-spec path must enforce the same generation budget cap as
+	// POST /v1/structures.
+	code, _ = postJSON(t, ts.URL+"/v1/instantiate", map[string]any{
+		"spec":    GenerateSpec{Circuit: "circ01", Iterations: 1 << 30},
+		"queries": []map[string][]int{testQuery(t, 0)},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("over-budget inline spec: got %d, want 400", code)
+	}
+
+	// Unknown circuit and absurd budget are rejected up front.
+	code, _ = postJSON(t, ts.URL+"/v1/structures", GenerateSpec{Circuit: "bogus"}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown circuit: got %d, want 400", code)
+	}
+	code, _ = postJSON(t, ts.URL+"/v1/structures",
+		GenerateSpec{Circuit: "circ01", Iterations: 1 << 30}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("over-budget: got %d, want 400", code)
+	}
+}
+
+// TestBodySizeLimit checks oversized request bodies are refused before
+// they are decoded, so the batch cap also bounds per-request memory.
+func TestBodySizeLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 2})
+	qs := make([]map[string][]int, 50000)
+	for i := range qs {
+		qs[i] = testQuery(t, 0)
+	}
+	code, body := postJSON(t, ts.URL+"/v1/instantiate", map[string]any{
+		"spec": testSpec(1), "queries": qs,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("multi-MB body: got %d (%s), want 400", code, body)
+	}
+	big := map[string]any{"circuit": "circ01", "effort": strings.Repeat("x", 8192)}
+	code, _ = postJSON(t, ts.URL+"/v1/structures", big, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("oversized spec body: got %d, want 400", code)
+	}
+}
+
+// TestBudgetCaps checks every work-multiplying spec field is bounded, not
+// just iterations.
+func TestBudgetCaps(t *testing.T) {
+	s := New(Config{MaxGenerateIterations: 100})
+	for _, bad := range []GenerateSpec{
+		{Circuit: "circ01", Iterations: 101},
+		{Circuit: "circ01", BDIOSteps: 101},
+		{Circuit: "circ01", Chains: maxChains + 1},
+	} {
+		if _, err := s.Generate(bad); err == nil {
+			t.Errorf("spec %+v should exceed the budget cap", bad)
+		}
+	}
+	// Negative cap disables the iteration/bdio bounds but not the chains one.
+	s = New(Config{MaxGenerateIterations: -1})
+	if err := s.checkBudget(GenerateSpec{Circuit: "circ01", Iterations: 1 << 30}); err != nil {
+		t.Errorf("disabled cap still rejected iterations: %v", err)
+	}
+	if err := s.checkBudget(GenerateSpec{Circuit: "circ01", Chains: maxChains + 1}); err == nil {
+		t.Error("chains bound should hold even with the cap disabled")
+	}
+}
+
+// TestConcurrentGenerateAndList overlaps in-flight generations with cache
+// reads (listing, lookup, cached instantiate) — under -race this covers
+// the publication of entry results to handlers that find the entry in the
+// cache rather than through once.Do.
+func TestConcurrentGenerateAndList(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Generate(testSpec(int64(20 + i))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				if code := getJSON(t, ts.URL+"/v1/structures", nil); code != http.StatusOK {
+					t.Errorf("list: %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestGenerationDedup checks a thundering herd of identical generation
+// requests shares one annealing run.
+func TestGenerationDedup(t *testing.T) {
+	s := New(Config{})
+	const clients = 8
+	var wg sync.WaitGroup
+	infos := make([]StructureInfo, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			infos[i], errs[i] = s.Generate(testSpec(3))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if infos[i].Key != infos[0].Key || infos[i].Placements != infos[0].Placements {
+			t.Fatalf("client %d saw a different structure: %+v vs %+v", i, infos[i], infos[0])
+		}
+	}
+	if got := s.order.Len(); got != 1 {
+		t.Fatalf("cache holds %d entries after dedup, want 1", got)
+	}
+}
+
+// TestLRUEviction checks the cache bound holds and evicts oldest first.
+func TestLRUEviction(t *testing.T) {
+	s := New(Config{CacheSize: 2})
+	keys := make([]string, 3)
+	for i := range keys {
+		info, err := s.Generate(testSpec(int64(10 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = info.Key
+	}
+	if got := s.order.Len(); got != 2 {
+		t.Fatalf("cache holds %d entries, want 2", got)
+	}
+	if _, ok := s.lookup(keys[0]); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := s.lookup(k); !ok {
+			t.Errorf("entry %s evicted too early", k)
+		}
+	}
+}
+
+// TestSpecNormalization checks equivalent specs share one cache key and
+// invalid enum values are rejected.
+func TestSpecNormalization(t *testing.T) {
+	a := GenerateSpec{Circuit: "circ01"}
+	// Identical up to defaulting: explicit effort/backup names, chains 1
+	// (the explorer runs one chain for 0 anyway), and the balanced preset's
+	// concrete budgets (300/300) spelled out.
+	b := GenerateSpec{Circuit: "circ01", Effort: "balanced", Backup: "tree",
+		Chains: 1, Iterations: 300, BDIOSteps: 300}
+	if err := a.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.key() != b.key() {
+		t.Errorf("equivalent specs map to different keys:\n%s\n%s", a.key(), b.key())
+	}
+	// Effort presets and their explicit budget equivalents share a key:
+	// quick resolves to iterations 60 / bdio 80.
+	p := GenerateSpec{Circuit: "circ01", Effort: "quick"}
+	q := GenerateSpec{Circuit: "circ01", Iterations: 60, BDIOSteps: 80}
+	if err := p.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if p.key() != q.key() {
+		t.Errorf("effort preset and explicit budgets map to different keys:\n%s\n%s", p.key(), q.key())
+	}
+	for _, bad := range []GenerateSpec{
+		{Circuit: "circ01", Effort: "turbo"},
+		{Circuit: "circ01", Backup: "magic"},
+		{Circuit: "circ01", Iterations: -1},
+		{},
+	} {
+		if err := bad.normalize(); err == nil {
+			t.Errorf("spec %+v should not normalize", bad)
+		}
+	}
+}
+
+// TestMethodNotAllowed sweeps wrong-method requests.
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for path, method := range map[string]string{
+		"/v1/circuits":    http.MethodPost,
+		"/v1/instantiate": http.MethodGet,
+	} {
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: got %d, want 405", method, path, resp.StatusCode)
+		}
+	}
+	if _, err := http.Get(ts.URL + "/v1/structures"); err != nil {
+		t.Fatal(err)
+	}
+}

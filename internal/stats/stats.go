@@ -12,10 +12,10 @@ import (
 
 // Summary holds descriptive statistics of a sample.
 type Summary struct {
-	N              int
-	Mean, Std      float64
-	Min, Max       float64
-	Median         float64
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
 }
 
 // Summarize computes descriptive statistics. An empty sample yields zeros.

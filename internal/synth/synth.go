@@ -81,15 +81,15 @@ func (cfg Config) withDefaults() Config {
 
 // Result summarizes a synthesis run.
 type Result struct {
-	BestX        []float64     // best sizing vector found
-	BestCost     float64       // objective at BestX
-	BestLayout   *cost.Layout  // layout of the best point
-	Iterations   int
-	PlaceTime    time.Duration // total time spent in the placement provider
-	TotalTime    time.Duration
-	PlaceCalls   int
-	PlaceErrs    int // iterations where the provider failed (skipped points)
-	AnnealStats  anneal.Stats
+	BestX       []float64    // best sizing vector found
+	BestCost    float64      // objective at BestX
+	BestLayout  *cost.Layout // layout of the best point
+	Iterations  int
+	PlaceTime   time.Duration // total time spent in the placement provider
+	TotalTime   time.Duration
+	PlaceCalls  int
+	PlaceErrs   int // iterations where the provider failed (skipped points)
+	AnnealStats anneal.Stats
 }
 
 // AvgPlaceTime returns the mean placement-provider latency per call.
@@ -115,9 +115,9 @@ type problem struct {
 
 	res *Result
 
-	best     float64
-	bestX    []float64
-	bestL    *cost.Layout
+	best  float64
+	bestX []float64
+	bestL *cost.Layout
 }
 
 // Propose implements anneal.Problem: perturb one sizing variable, run the
@@ -154,8 +154,8 @@ func (pr *problem) evaluate() float64 {
 		return failCost
 	}
 	l := &cost.Layout{
-		Circuit:   pr.sizer.Circuit(),
-		X:         x, Y: y, W: ws, H: hs,
+		Circuit: pr.sizer.Circuit(),
+		X:       x, Y: y, W: ws, H: hs,
 		Floorplan: pr.fp,
 	}
 	c := pr.obj.Cost(pr.x, l)

@@ -102,7 +102,11 @@ const (
 	EffortThorough
 )
 
-func (o Options) budgets() (iters, bdioSteps int) {
+// Budgets resolves the annealing budgets the options imply: explicit
+// Iterations/BDIOSteps when non-zero, else the Effort preset. Exposed so
+// callers that cache structures by options (e.g. internal/serve) can
+// canonicalize equivalent option sets to one key.
+func (o Options) Budgets() (iters, bdioSteps int) {
 	iters, bdioSteps = o.Iterations, o.BDIOSteps
 	if iters == 0 {
 		switch o.Effort {
@@ -139,7 +143,7 @@ func BenchmarkNames() []string { return circuits.Names() }
 // one-time offline step of Fig. 1a — and installs a balanced slicing-tree
 // template as the uncovered-space backup.
 func Generate(c *Circuit, opts Options) (*Structure, Stats, error) {
-	iters, bdioSteps := opts.budgets()
+	iters, bdioSteps := opts.Budgets()
 	s, stats, err := explorer.Generate(c, explorer.Config{
 		Seed:           opts.Seed,
 		MaxIterations:  iters,

@@ -134,14 +134,14 @@ func TestEffortPresets(t *testing.T) {
 	quick := Options{Effort: EffortQuick}
 	bal := Options{}
 	thorough := Options{Effort: EffortThorough}
-	qi, qb := quick.budgets()
-	bi, bb := bal.budgets()
-	ti, tb := thorough.budgets()
+	qi, qb := quick.Budgets()
+	bi, bb := bal.Budgets()
+	ti, tb := thorough.Budgets()
 	if !(qi < bi && bi < ti) || !(qb < bb && bb < tb) {
 		t.Errorf("effort presets not ordered: %d/%d, %d/%d, %d/%d", qi, qb, bi, bb, ti, tb)
 	}
 	explicit := Options{Iterations: 7, BDIOSteps: 9, Effort: EffortThorough}
-	ei, eb := explicit.budgets()
+	ei, eb := explicit.Budgets()
 	if ei != 7 || eb != 9 {
 		t.Errorf("explicit budgets overridden: %d/%d", ei, eb)
 	}
