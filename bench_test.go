@@ -7,6 +7,7 @@ package mps
 // higher effort for the EXPERIMENTS.md numbers.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -427,23 +428,66 @@ func BenchmarkScalingGeneration(b *testing.B) {
 	}
 }
 
-// BenchmarkSaveLoad measures structure persistence round trips.
-func BenchmarkSaveLoad(b *testing.B) {
+// BenchmarkSave measures structure encoding per codec on a generated
+// structure; file-bytes reports the encoded size.
+func BenchmarkSave(b *testing.B) {
+	s := structureFor(b, "TwoStageOpamp")
+	codecs := []struct {
+		name string
+		save func(io.Writer) error
+	}{
+		{"gob", s.Save},
+		{"binary", s.SaveBinary},
+	}
+	for _, codec := range codecs {
+		b.Run(codec.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			if err := codec.save(&buf); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(buf.Len()))
+			b.ReportMetric(float64(buf.Len()), "file-bytes")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := codec.save(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoad measures structure decoding per codec — the cost a
+// warm-starting mpsd pays per persisted structure. The acceptance target
+// is binary measurably faster than gob and no larger on disk.
+func BenchmarkLoad(b *testing.B) {
 	s := structureFor(b, "TwoStageOpamp")
 	c := s.Circuit()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		pr, pw := io.Pipe()
-		done := make(chan error, 1)
-		go func() {
-			done <- s.Save(pw)
-			pw.Close()
-		}()
-		if _, err := core.Load(pr, c); err != nil {
-			b.Fatal(err)
-		}
-		if err := <-done; err != nil {
-			b.Fatal(err)
-		}
+	codecs := []struct {
+		name string
+		save func(io.Writer) error
+	}{
+		{"gob", s.Save},
+		{"binary", s.SaveBinary},
+	}
+	for _, codec := range codecs {
+		b.Run(codec.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			if err := codec.save(&buf); err != nil {
+				b.Fatal(err)
+			}
+			data := buf.Bytes()
+			b.SetBytes(int64(len(data)))
+			b.ReportMetric(float64(len(data)), "file-bytes")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Load(bytes.NewReader(data), c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -7,6 +7,7 @@
 //	mpsbench -all [-effort quick|standard|full] [-seed 1] [-out results/]
 //	mpsbench -table1 -table2
 //	mpsbench -fig5 -fig6 -fig7 -out results/
+//	mpsbench -saveload              # on-disk codec comparison (gob v1 vs binary v2)
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	fig7 := flag.Bool("fig7", false, "reproduce Figure 7 (tso-cascode instantiation)")
 	scaling := flag.Bool("scaling", false, "run the block-count scaling study (extension)")
 	synthCmp := flag.Bool("synth", false, "run the Fig. 1b synthesis-loop provider comparison (extension)")
+	saveload := flag.Bool("saveload", false, "benchmark the on-disk codecs: gob v1 vs binary v2 per circuit (extension)")
 	all := flag.Bool("all", false, "reproduce everything")
 	effortFlag := flag.String("effort", "standard", "generation budget: quick, standard, full")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -40,9 +42,9 @@ func main() {
 
 	if *all {
 		*table1, *table2, *fig5, *fig6, *fig7 = true, true, true, true, true
-		*scaling, *synthCmp = true, true
+		*scaling, *synthCmp, *saveload = true, true, true
 	}
-	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp) {
+	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -128,6 +130,12 @@ func main() {
 	}
 	if *scaling {
 		if _, err := experiments.RunScaling(os.Stdout, []int{4, 8, 12, 16, 20, 25}, effort, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *saveload {
+		if _, err := experiments.RunSaveLoad(os.Stdout, effort, *seed); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()

@@ -8,6 +8,13 @@
 //
 //	mpsd [-addr :8723] [-cache 8] [-workers 0] [-max-batch 8192]
 //	     [-max-iterations 5000] [-preload TwoStageOpamp]
+//	     [-store-dir /var/lib/mpsd] [-store-warm -1]
+//
+// With -store-dir, generated structures are persisted to a disk-backed
+// repository (atomic v2 binary files plus a JSON manifest) and the daemon
+// warm-starts from it: up to -store-warm structures (default: the cache
+// size) are loaded into the LRU at boot, and any cache miss consults the
+// store before regenerating, so a restart never repeats an annealing run.
 //
 // Endpoints:
 //
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"mps/internal/serve"
+	"mps/internal/store"
 )
 
 func main() {
@@ -52,14 +60,37 @@ func main() {
 		"cap on per-request explorer iterations (negative disables)")
 	preload := flag.String("preload", "",
 		"comma-free circuit name to generate at startup with quick effort")
+	storeDir := flag.String("store-dir", "",
+		"persistent structure store directory (empty = memory-only)")
+	storeWarm := flag.Int("store-warm", -1,
+		"structures to warm-load from the store at startup (-1 = cache size, 0 = disable)")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		CacheSize:             *cacheSize,
 		Workers:               *workers,
 		MaxBatch:              *maxBatch,
 		MaxGenerateIterations: *maxIterations,
-	})
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Store = st
+		cfg.Logf = log.Printf
+	}
+	srv := serve.New(cfg)
+
+	if cfg.Store != nil && *storeWarm != 0 {
+		start := time.Now()
+		n, err := srv.Warm(*storeWarm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warm-started %d of %d persisted structures from %s in %s",
+			n, cfg.Store.Len(), *storeDir, time.Since(start).Round(time.Millisecond))
+	}
 
 	if *preload != "" {
 		start := time.Now()
@@ -108,6 +139,9 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	// Finish background store writes so a generation that completed during
+	// the drain is not lost to the exit racing its persist.
+	srv.Flush()
 }
 
 // logRequests is a minimal access log: method, path, status, latency.

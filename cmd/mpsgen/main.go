@@ -5,7 +5,11 @@
 // Usage:
 //
 //	mpsgen -circuit TwoStageOpamp -out tso.mps [-seed 1] [-effort quick|balanced|thorough]
-//	       [-iterations N] [-bdio-steps N] [-chains N] [-v]
+//	       [-iterations N] [-bdio-steps N] [-chains N] [-format binary|gob] [-v]
+//
+// Structures are written atomically in the v2 binary format (checksummed,
+// varint-packed) by default; -format gob emits the legacy v1 encoding for
+// old readers. mpsquery/mpsinfo/mpsd load either format transparently.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 	iterations := flag.Int("iterations", 0, "explorer iterations (overrides effort preset)")
 	bdioSteps := flag.Int("bdio-steps", 0, "inner-annealer steps (overrides effort preset)")
 	chains := flag.Int("chains", 1, "parallel explorer chains")
+	format := flag.String("format", "binary", "output format: binary (v2, checksummed) or gob (legacy v1)")
 	list := flag.Bool("list", false, "list benchmark circuits and exit")
 	verbose := flag.Bool("v", false, "report progress during generation")
 	flag.Parse()
@@ -64,6 +69,15 @@ func main() {
 	default:
 		log.Fatalf("unknown effort %q", *effort)
 	}
+	var outFormat mps.Format
+	switch strings.ToLower(*format) {
+	case "binary":
+		outFormat = mps.FormatBinary
+	case "gob":
+		outFormat = mps.FormatGob
+	default:
+		log.Fatalf("unknown format %q (want binary or gob)", *format)
+	}
 	if *verbose {
 		opts.Progress = func(chain, iter, n int) {
 			if iter%10 == 0 {
@@ -76,7 +90,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := s.SaveFile(*out); err != nil {
+	if err := s.SaveFileFormat(*out, outFormat); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("circuit:     %s (%d blocks, %d nets)\n", circuit.Name, circuit.N(), len(circuit.Nets))
@@ -85,5 +99,5 @@ func main() {
 		stats.Iterations, stats.Stored, stats.CandidatesDied, stats.Accepted)
 	fmt.Printf("coverage:    %.3g (exact volume fraction)\n", stats.FinalCoverage)
 	fmt.Printf("duration:    %s\n", stats.Duration)
-	fmt.Printf("saved to:    %s\n", *out)
+	fmt.Printf("saved to:    %s (%s format)\n", *out, strings.ToLower(*format))
 }

@@ -5,6 +5,9 @@
 //
 //	mpsinfo -circuit TwoStageOpamp -in tso.mps
 //	mpsinfo -circuit TwoStageOpamp -in tso.mps -json tso.json
+//
+// Both structure file formats (binary v2 and legacy gob v1) load
+// transparently.
 package main
 
 import (

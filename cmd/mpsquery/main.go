@@ -8,7 +8,8 @@
 //	mpsquery -circuit TwoStageOpamp -in tso.mps -frac 0.5 -render
 //
 // Dimensions are per-block WxH pairs in block order; -frac picks every
-// block's dimensions at the given fraction of its range instead.
+// block's dimensions at the given fraction of its range instead. Both
+// structure file formats (binary v2 and legacy gob v1) load transparently.
 package main
 
 import (

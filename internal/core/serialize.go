@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -12,13 +13,20 @@ import (
 
 // This file provides persistence for the "generate once, use in every
 // synthesis run" workflow (paper Fig. 1): a structure is generated offline
-// by cmd/mpsgen, saved, and loaded by the synthesis loop.
+// by cmd/mpsgen, saved, and loaded by the synthesis loop or the mpsd
+// structure store.
+//
+// Two formats exist on disk. Format v1 is a gob blob (Save); format v2 is
+// the checksummed binary codec in codec.go (SaveBinary). Load sniffs the
+// header and accepts both, funneling them through one trusted validation
+// path (buildStructure), so every loaded structure is checked the same way
+// regardless of encoding.
 //
 // Only the live placements are serialized; the 2N rows are rebuilt on load
 // by re-storing every placement, which guarantees a loaded structure's rows
 // are consistent with its placements by construction.
 
-// fileFormat is the on-disk representation.
+// fileFormat is the decoded on-disk representation shared by both codecs.
 type fileFormat struct {
 	Version     int
 	CircuitName string
@@ -35,7 +43,9 @@ type savedPlacement struct {
 
 const formatVersion = 1
 
-// Save writes the structure to w in gob format.
+// Save writes the structure to w in the legacy gob format (v1). New code
+// should prefer SaveBinary; Save remains for compatibility with readers
+// that predate the v2 codec.
 func (s *Structure) Save(w io.Writer) error {
 	ff := fileFormat{
 		Version:     formatVersion,
@@ -59,19 +69,50 @@ func (s *Structure) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a structure saved by Save. The circuit must be the same
+// Load reads a structure saved by Save (gob v1) or SaveBinary (v2),
+// sniffing the format from the first bytes. The circuit must be the same
 // topology the structure was generated for (matched by name and block
 // count). Placements are verified pairwise-disjoint while loading, so a
 // corrupted file that would violate eq. 5 is rejected rather than silently
-// repaired.
+// repaired; v2 files additionally fail fast on a checksum mismatch before
+// any semantic check runs.
 func Load(r io.Reader, c *netlist.Circuit) (*Structure, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && string(head) == binaryMagic {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading structure: %w", err)
+		}
+		ff, err := decodeBinary(data)
+		if err != nil {
+			return nil, err
+		}
+		return buildStructure(ff, c)
+	}
+	// Not a v2 header: treat as gob v1. Short or garbage streams land here
+	// too and fail with gob's decode error.
 	var ff fileFormat
-	if err := gob.NewDecoder(r).Decode(&ff); err != nil {
+	if err := gob.NewDecoder(br).Decode(&ff); err != nil {
 		return nil, fmt.Errorf("core: decoding structure: %w", err)
 	}
 	if ff.Version != formatVersion {
 		return nil, fmt.Errorf("core: unsupported format version %d", ff.Version)
 	}
+	return buildStructure(&ff, c)
+}
+
+// buildStructure is the single trusted deserialization path: it validates
+// the decoded file against the circuit and re-stores every placement,
+// whatever codec produced it. A loaded structure satisfies the same
+// invariants CheckInvariants verifies: arity and designer bounds (store),
+// geometric legality at max dims (CheckLegal), and pairwise-disjoint
+// dimension boxes (eq. 5). Box overlap — which only a corrupt or forged
+// file can contain — is detected via the interval rows as each placement
+// is stored (a row pre-filter plus box checks against the few row-sharing
+// candidates) instead of the former all-pairs BoxOverlaps pass, so
+// loading stays near-linear in placements for well-formed files.
+func buildStructure(ff *fileFormat, c *netlist.Circuit) (*Structure, error) {
 	if c.Name != ff.CircuitName {
 		return nil, fmt.Errorf("core: file is for circuit %q, not %q", ff.CircuitName, c.Name)
 	}
@@ -82,6 +123,9 @@ func Load(r io.Reader, c *netlist.Circuit) (*Structure, error) {
 			len(sp.HLo) != n || len(sp.HHi) != n {
 			return nil, fmt.Errorf("core: placement %d has wrong arity for %d blocks", idx, n)
 		}
+		if (sp.BestW != nil && len(sp.BestW) != n) || (sp.BestH != nil && len(sp.BestH) != n) {
+			return nil, fmt.Errorf("core: placement %d has wrong best-dims arity for %d blocks", idx, n)
+		}
 		p := &placement.Placement{
 			ID: -1,
 			X:  sp.X, Y: sp.Y,
@@ -89,10 +133,11 @@ func Load(r io.Reader, c *netlist.Circuit) (*Structure, error) {
 			AvgCost: sp.AvgCost, BestCost: sp.BestCost,
 			BestW: sp.BestW, BestH: sp.BestH,
 		}
-		for _, id := range s.IDs() {
-			if p.BoxOverlaps(s.placements[id]) {
-				return nil, fmt.Errorf("core: placements %d and %d in file overlap (corrupt save)", idx, id)
-			}
+		if err := p.CheckLegal(s.fp); err != nil {
+			return nil, fmt.Errorf("core: placement %d: %w", idx, err)
+		}
+		if ids := s.conflicting(p); len(ids) > 0 {
+			return nil, fmt.Errorf("core: placements %d and %d in file overlap (corrupt save)", idx, ids[0])
 		}
 		if _, err := s.store(p); err != nil {
 			return nil, fmt.Errorf("core: placement %d: %w", idx, err)

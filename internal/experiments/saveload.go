@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"mps/internal/circuits"
+	"mps/internal/core"
+	"mps/internal/netlist"
+	"mps/internal/stats"
+)
+
+// SaveLoadRow is one circuit's codec comparison: encoded size and
+// encode/decode wall time for the legacy gob v1 format vs the v2 binary
+// codec, on a freshly generated structure.
+type SaveLoadRow struct {
+	Circuit    string
+	Placements int
+	GobBytes   int
+	BinBytes   int
+	GobEncode  time.Duration
+	BinEncode  time.Duration
+	GobDecode  time.Duration
+	BinDecode  time.Duration
+}
+
+// RunSaveLoad measures the on-disk codecs on every Table 1 circuit and
+// renders a comparison table: bytes on disk and encode/decode time for
+// gob v1 vs binary v2. It feeds the serving-layer perf trajectory — the
+// decode column is the cost a warm-starting mpsd pays per structure, and
+// the size ratio is what a structure store directory saves.
+func RunSaveLoad(w io.Writer, effort Effort, seed int64) ([]SaveLoadRow, error) {
+	fmt.Fprintln(w, "Save/load codec comparison: gob v1 vs binary v2 (lower is better)")
+	tb := stats.NewTable("circuit", "plc", "gob B", "bin B", "size", "gob enc", "bin enc", "gob dec", "bin dec")
+	var rows []SaveLoadRow
+	for _, name := range circuits.Names() {
+		s, _, err := GenerateForBenchmark(name, effort, seed)
+		if err != nil {
+			return nil, err
+		}
+		c, err := circuits.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row := SaveLoadRow{Circuit: name, Placements: s.NumPlacements()}
+
+		var gobBuf, binBuf bytes.Buffer
+		start := time.Now()
+		if err := s.Save(&gobBuf); err != nil {
+			return nil, err
+		}
+		row.GobEncode = time.Since(start)
+		start = time.Now()
+		if err := s.SaveBinary(&binBuf); err != nil {
+			return nil, err
+		}
+		row.BinEncode = time.Since(start)
+		row.GobBytes, row.BinBytes = gobBuf.Len(), binBuf.Len()
+
+		// Decode timing is the median of a few passes: single-digit
+		// millisecond decodes are noisy under one-shot timing.
+		row.GobDecode, err = medianLoad(gobBuf.Bytes(), c)
+		if err != nil {
+			return nil, err
+		}
+		row.BinDecode, err = medianLoad(binBuf.Bytes(), c)
+		if err != nil {
+			return nil, err
+		}
+
+		tb.AddRow(name, row.Placements, row.GobBytes, row.BinBytes,
+			fmt.Sprintf("%.2fx", float64(row.BinBytes)/float64(row.GobBytes)),
+			row.GobEncode.Round(time.Microsecond), row.BinEncode.Round(time.Microsecond),
+			row.GobDecode.Round(time.Microsecond), row.BinDecode.Round(time.Microsecond))
+		rows = append(rows, row)
+	}
+	tb.Render(w)
+	return rows, nil
+}
+
+// medianLoad decodes the payload several times and returns the median
+// duration, verifying each decode succeeds: single-shot timing of a
+// millisecond-scale decode is too noisy to compare codecs.
+func medianLoad(data []byte, c *netlist.Circuit) (time.Duration, error) {
+	const passes = 5
+	times := make([]time.Duration, passes)
+	for i := range times {
+		start := time.Now()
+		if _, err := core.Load(bytes.NewReader(data), c); err != nil {
+			return 0, err
+		}
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[passes/2], nil
+}

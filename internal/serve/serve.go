@@ -9,6 +9,13 @@
 // Generation requests for the same key are deduplicated: concurrent
 // clients share one generation run (per-entry sync.Once) and all block on
 // its completion, so a thundering herd costs one annealing run, not N.
+//
+// With a Store configured the cache becomes a write-through layer over a
+// disk repository (internal/store): finished generations persist in the
+// background, cache misses try a disk load (milliseconds) before an
+// annealing run (minutes), and Warm preloads the newest persisted
+// structures at startup — so a daemon restart never repeats generation
+// work (the paper's "generate once" made durable).
 package serve
 
 import (
@@ -21,9 +28,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mps"
 	"mps/internal/circuits"
+	"mps/internal/store"
 )
 
 // Config tunes a Server. The zero value is a sensible default.
@@ -54,6 +63,15 @@ type Config struct {
 	// maxChains, so no request field multiplies the work unboundedly.
 	// Default 5000. Set negative to disable the cap.
 	MaxGenerateIterations int
+	// Store, when non-nil, is the disk-backed structure repository: cache
+	// misses consult it before paying for an annealing run, finished
+	// generations are persisted to it in the background (Flush waits for
+	// them), and Warm preloads its newest entries into the LRU at
+	// startup. Nil keeps the server memory-only.
+	Store *store.Dir
+	// Logf, when non-nil, receives operational log lines (store persist
+	// or warm-load failures). Nil discards them; counters still track.
+	Logf func(format string, args ...any)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -84,6 +102,17 @@ type Server struct {
 	// executions and structure generations to their configured maxima.
 	batchSlots chan struct{}
 	genSlots   chan struct{}
+
+	// genRuns counts full annealing runs started — not cache or store
+	// hits — so tests and operators can verify warm-started structures
+	// are served without regeneration.
+	genRuns atomic.Int64
+	// persistWG tracks in-flight background store writes; persistErrs
+	// counts the ones that failed and loadErrs the store reads that did
+	// (both also reported through Logf).
+	persistWG   sync.WaitGroup
+	persistErrs atomic.Int64
+	loadErrs    atomic.Int64
 
 	mu    sync.Mutex
 	cache map[string]*entry
@@ -188,6 +217,16 @@ func (g GenerateSpec) key() string {
 		g.Circuit, g.Seed, g.Iterations, g.BDIOSteps, g.Chains, g.MaxPlacements, g.Backup)
 }
 
+// backupKind maps the spec's backup name to the facade's enum — used when
+// rehydrating a structure from the store, where only the backup must be
+// rebuilt (it is derived from the circuit, not persisted).
+func (g GenerateSpec) backupKind() mps.BackupKind {
+	if g.Backup == "seqpair" {
+		return mps.BackupSequencePair
+	}
+	return mps.BackupSlicingTree
+}
+
 func (g GenerateSpec) options() mps.Options {
 	effort := mps.EffortBalanced
 	switch g.Effort {
@@ -285,6 +324,15 @@ func (s *Server) structureFor(ctx context.Context, spec GenerateSpec) (*entry, b
 		var st *mps.Structure
 		var stats mps.Stats
 		var err error
+		// Read-through: a structure persisted by an earlier process (or
+		// evicted from this one) is rehydrated from disk in milliseconds
+		// instead of regenerated in minutes. Load failures (corrupt file,
+		// missing entry) fall through to a fresh generation.
+		if st, stats, err = s.loadFromStore(spec); err == nil && st != nil {
+			s.publish(e, st, stats, nil)
+			return
+		}
+		st, stats, err = nil, mps.Stats{}, nil
 		// Queued-but-not-started work is droppable: if the requesting
 		// client disconnects while waiting for a generation slot and no
 		// other request shares this entry, fail it (it is removed below,
@@ -325,38 +373,173 @@ func (s *Server) structureFor(ctx context.Context, spec GenerateSpec) (*entry, b
 			var circuit *mps.Circuit
 			circuit, err = mps.Benchmark(spec.Circuit)
 			if err == nil {
+				s.genRuns.Add(1)
 				st, stats, err = mps.Generate(circuit, spec.options())
 			}
 		}()
-		var placements int
-		var coverage float64
-		if st != nil {
-			placements = st.NumPlacements()
-			// FinalCoverage is exact here: Compact (run inside
-			// mps.Generate) merges fragments without changing covered
-			// volume, so no recompute is needed.
-			coverage = stats.FinalCoverage
+		s.publish(e, st, stats, err)
+		// Write-through: persist the finished structure off the request
+		// path. The annealing run took minutes; the disk write takes
+		// milliseconds and must never hold a client hostage.
+		if err == nil && st != nil && s.cfg.Store != nil {
+			s.persistWG.Add(1)
+			go func() {
+				defer s.persistWG.Done()
+				s.persist(spec, st, stats.FinalCoverage)
+			}()
 		}
-		// Publish under the cache lock so handlers that find the entry in
-		// the cache (rather than through once.Do) read a consistent result,
-		// and drop failed generations in the same critical section so no
-		// request can observe a cached entry carrying another client's
-		// error — later requests miss and retry instead.
-		// Re-run eviction: this entry was un-evictable while in flight, so
-		// the cache may be over its bound with no future miss to shrink it.
-		s.mu.Lock()
-		e.s, e.stats, e.err, e.done = st, stats, err, true
-		e.placements, e.coverage = placements, coverage
-		if err != nil {
-			s.removeLocked(e)
-		}
-		s.evictLocked()
-		s.mu.Unlock()
 	})
 	if e.err != nil {
 		return nil, false, e.err
 	}
 	return e, wasDone, nil
+}
+
+// publish records a finished (or failed) generation on its entry under
+// the cache lock, so handlers that find the entry in the cache (rather
+// than through once.Do) read a consistent result. Failed generations are
+// dropped in the same critical section so no request can observe a cached
+// entry carrying another client's error — later requests miss and retry
+// instead. Eviction re-runs because the entry was un-evictable while in
+// flight, so the cache may be over its bound with no future miss to
+// shrink it.
+func (s *Server) publish(e *entry, st *mps.Structure, stats mps.Stats, err error) {
+	var placements int
+	var coverage float64
+	if st != nil {
+		placements = st.NumPlacements()
+		// FinalCoverage is exact here: Compact (run inside mps.Generate)
+		// merges fragments without changing covered volume, so no
+		// recompute is needed.
+		coverage = stats.FinalCoverage
+	}
+	s.mu.Lock()
+	e.s, e.stats, e.err, e.done = st, stats, err, true
+	e.placements, e.coverage = placements, coverage
+	if err != nil {
+		s.removeLocked(e)
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// loadFromStore rehydrates the structure for spec from the disk store.
+// (nil, _, nil) means "not available" — no store configured or no entry
+// for the key; an error means an entry existed but could not be loaded
+// (corrupt file, circuit mismatch), which callers also treat as a miss
+// after counting it.
+func (s *Server) loadFromStore(spec GenerateSpec) (*mps.Structure, mps.Stats, error) {
+	if s.cfg.Store == nil {
+		return nil, mps.Stats{}, nil
+	}
+	key := spec.key()
+	if _, ok := s.cfg.Store.Stat(key); !ok {
+		return nil, mps.Stats{}, nil
+	}
+	circuit, err := mps.Benchmark(spec.Circuit)
+	if err != nil {
+		return nil, mps.Stats{}, err
+	}
+	cs, meta, err := s.cfg.Store.Get(key, circuit)
+	if err != nil {
+		s.loadErrs.Add(1)
+		s.logf("store: loading %s: %v (regenerating)", key, err)
+		return nil, mps.Stats{}, err
+	}
+	st := &mps.Structure{Structure: cs}
+	st.SetBackupKind(spec.backupKind())
+	// The manifest's coverage snapshot is all that survives a restart;
+	// the rest of the generation stats belong to the process that ran
+	// the annealer.
+	return st, mps.Stats{FinalCoverage: meta.Coverage}, nil
+}
+
+// persist writes one finished generation to the disk store, recording the
+// normalized spec in the manifest so a restarted server can rebuild the
+// cache entry without guessing.
+func (s *Server) persist(spec GenerateSpec, st *mps.Structure, coverage float64) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		s.persistErrs.Add(1)
+		s.logf("store: encoding spec for %s: %v", spec.key(), err)
+		return
+	}
+	_, err = s.cfg.Store.Put(store.Meta{
+		Key:      spec.key(),
+		Circuit:  spec.Circuit,
+		Seed:     spec.Seed,
+		Options:  string(specJSON),
+		Coverage: coverage,
+	}, st.Structure)
+	if err != nil {
+		s.persistErrs.Add(1)
+		s.logf("store: persisting %s: %v", spec.key(), err)
+	}
+}
+
+// Flush blocks until all background store writes have completed. Call it
+// before shutdown (or before another process opens the store directory)
+// so finished generations are never lost to a racing exit.
+func (s *Server) Flush() { s.persistWG.Wait() }
+
+// Warm preloads up to limit structures from the disk store into the LRU,
+// newest first (limit <= 0 or above the cache size clamps to the cache
+// size). It returns how many structures were loaded; entries that fail to
+// parse or load are logged and skipped, never fatal — a warm start must
+// not keep a daemon from booting.
+func (s *Server) Warm(limit int) (int, error) {
+	if s.cfg.Store == nil {
+		return 0, fmt.Errorf("serve: no store configured")
+	}
+	if limit <= 0 || limit > s.cfg.CacheSize {
+		limit = s.cfg.CacheSize
+	}
+	loaded := 0
+	for _, meta := range s.cfg.Store.List() {
+		if loaded >= limit {
+			break
+		}
+		var spec GenerateSpec
+		if err := json.Unmarshal([]byte(meta.Options), &spec); err != nil {
+			s.logf("warm: manifest options for %s: %v", meta.Key, err)
+			continue
+		}
+		if err := spec.normalize(); err != nil {
+			s.logf("warm: spec for %s: %v", meta.Key, err)
+			continue
+		}
+		if spec.key() != meta.Key {
+			s.logf("warm: manifest key %s does not match its spec (key drift)", meta.Key)
+			continue
+		}
+		st, stats, err := s.loadFromStore(spec)
+		if err != nil || st == nil {
+			continue // already logged and counted
+		}
+		e := &entry{key: meta.Key, spec: spec}
+		e.s, e.stats, e.done = st, stats, true
+		e.placements = st.NumPlacements()
+		e.coverage = meta.Coverage
+		// Consume the entry's once before publication so a later
+		// structureFor treats it as finished; the field writes above
+		// happen-before any once.Do return.
+		e.once.Do(func() {})
+		s.mu.Lock()
+		if _, exists := s.cache[meta.Key]; !exists {
+			e.elem = s.order.PushBack(e) // List is newest-first, so the front stays newest
+			s.cache[meta.Key] = e
+			s.evictLocked()
+			loaded++
+		}
+		s.mu.Unlock()
+	}
+	return loaded, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // removeLocked deletes e from the cache and LRU order if still present.
@@ -434,6 +617,21 @@ type StructureInfo struct {
 	Stats      *mps.Stats   `json:"stats,omitempty"`
 }
 
+// PersistedInfo describes one structure in the disk store (a manifest
+// row) to clients of GET /v1/structures.
+type PersistedInfo struct {
+	Key        string    `json:"key"`
+	Circuit    string    `json:"circuit"`
+	Seed       int64     `json:"seed"`
+	Placements int       `json:"placements"`
+	Coverage   float64   `json:"coverage,omitempty"`
+	Bytes      int64     `json:"bytes"`
+	Created    time.Time `json:"created"`
+	// Cached reports whether the entry is also in the in-memory LRU right
+	// now (a disk-only entry costs one load, not a regeneration).
+	Cached bool `json:"cached"`
+}
+
 // clientError wraps validation failures so HTTP handlers can map them to
 // 400 while generation failures stay 500.
 type clientError struct{ err error }
@@ -499,11 +697,13 @@ func (s *Server) handleStructures(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		s.mu.Lock()
 		out := []StructureInfo{}
+		cached := map[string]bool{}
 		for el := s.order.Front(); el != nil; el = el.Next() {
 			e := el.Value.(*entry)
 			if !e.done || e.err != nil {
 				continue // still generating or failed
 			}
+			cached[e.key] = true
 			out = append(out, StructureInfo{
 				Key:        e.key,
 				Spec:       e.spec,
@@ -513,7 +713,24 @@ func (s *Server) handleStructures(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, map[string]any{"structures": out})
+		resp := map[string]any{"structures": out}
+		if s.cfg.Store != nil {
+			persisted := []PersistedInfo{}
+			for _, m := range s.cfg.Store.List() {
+				persisted = append(persisted, PersistedInfo{
+					Key:        m.Key,
+					Circuit:    m.Circuit,
+					Seed:       m.Seed,
+					Placements: m.Placements,
+					Coverage:   m.Coverage,
+					Bytes:      m.Bytes,
+					Created:    m.Created,
+					Cached:     cached[m.Key],
+				})
+			}
+			resp["persisted"] = persisted
+		}
+		writeJSON(w, http.StatusOK, resp)
 	case http.MethodPost:
 		var spec GenerateSpec
 		if err := decodeJSON(w, r, &spec, 4096); err != nil {

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	"mps/internal/circuits"
+	"mps/internal/store"
 )
 
 // testSpec is a seconds-scale generation spec for the smallest circuit.
@@ -410,6 +413,186 @@ func TestSpecNormalization(t *testing.T) {
 		if err := bad.normalize(); err == nil {
 			t.Errorf("spec %+v should not normalize", bad)
 		}
+	}
+}
+
+// openStore opens a store directory, failing the test on error.
+func openStore(t *testing.T, dir string) *store.Dir {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStoreWarmRestart is the paper's premise as a test: generate once,
+// kill the server, and a fresh server over the same store directory must
+// answer /v1/instantiate from disk without a single annealing run.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// First server: generate and persist.
+	s1 := New(Config{Store: openStore(t, dir), Logf: t.Logf})
+	info, err := s1.Generate(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Flush() // wait for the background write-through
+	if runs := s1.genRuns.Load(); runs != 1 {
+		t.Fatalf("first server ran %d generations, want 1", runs)
+	}
+
+	// Second server, same directory — simulates a daemon restart.
+	s2, ts := newTestServer(t, Config{Store: openStore(t, dir), Logf: t.Logf})
+	n, err := s2.Warm(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("warm-loaded %d structures, want 1", n)
+	}
+
+	// The warmed entry must be a cache hit with the same identity.
+	again, err := s2.Generate(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("warm-started structure not reported as cached")
+	}
+	if again.Key != info.Key || again.Placements != info.Placements {
+		t.Fatalf("restarted server serves a different structure: %+v vs %+v", again, info)
+	}
+
+	// And the wire-level instantiate path works end to end.
+	var out struct {
+		Served int `json:"served"`
+	}
+	code, body := postJSON(t, ts.URL+"/v1/instantiate", map[string]any{
+		"spec":    testSpec(1),
+		"queries": []map[string][]int{testQuery(t, 0)},
+	}, &out)
+	if code != http.StatusOK || out.Served != 1 {
+		t.Fatalf("instantiate after restart: %d %s", code, body)
+	}
+	if runs := s2.genRuns.Load(); runs != 0 {
+		t.Fatalf("restarted server ran %d generations, want 0 (must serve from disk)", runs)
+	}
+}
+
+// TestStoreReadThrough covers the no-warm path: even without Warm, a cache
+// miss consults the store before regenerating.
+func TestStoreReadThrough(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Config{Store: openStore(t, dir)})
+	if _, err := s1.Generate(testSpec(5)); err != nil {
+		t.Fatal(err)
+	}
+	s1.Flush()
+
+	s2 := New(Config{Store: openStore(t, dir)})
+	t.Cleanup(s2.Flush) // the fresh-spec generation below persists in the background
+	info, err := s2.Generate(testSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := s2.genRuns.Load(); runs != 0 {
+		t.Fatalf("read-through ran %d generations, want 0", runs)
+	}
+	if info.Placements == 0 {
+		t.Fatal("read-through returned an empty structure")
+	}
+	// A different spec is a genuine miss and must still generate.
+	if _, err := s2.Generate(testSpec(6)); err != nil {
+		t.Fatal(err)
+	}
+	if runs := s2.genRuns.Load(); runs != 1 {
+		t.Fatalf("fresh spec ran %d generations, want 1", runs)
+	}
+}
+
+// TestStoreCorruptFallsBack: a corrupted structure file must not take the
+// key down — the server regenerates and re-persists.
+func TestStoreCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	s1 := New(Config{Store: st})
+	if _, err := s1.Generate(testSpec(9)); err != nil {
+		t.Fatal(err)
+	}
+	s1.Flush()
+
+	// Corrupt the structure file on disk.
+	spec := testSpec(9)
+	if err := spec.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	meta, ok := st.Stat(spec.key())
+	if !ok {
+		t.Fatal("persisted entry missing")
+	}
+	corruptFile(t, dir, meta.File)
+
+	s2 := New(Config{Store: openStore(t, dir)})
+	t.Cleanup(s2.Flush) // the fallback generation re-persists in the background
+	info, err := s2.Generate(testSpec(9))
+	if err != nil {
+		t.Fatalf("corrupt store entry should fall back to generation: %v", err)
+	}
+	if runs := s2.genRuns.Load(); runs != 1 {
+		t.Fatalf("fallback ran %d generations, want 1", runs)
+	}
+	if info.Placements == 0 {
+		t.Fatal("fallback returned an empty structure")
+	}
+}
+
+// TestStorePersistedListing checks GET /v1/structures reports manifest
+// rows with their metadata alongside the in-memory cache.
+func TestStorePersistedListing(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Config{Store: openStore(t, dir)})
+	if _, err := s1.Generate(testSpec(3)); err != nil {
+		t.Fatal(err)
+	}
+	s1.Flush()
+
+	// Fresh server, no warm: entry is persisted but not cached.
+	_, ts := newTestServer(t, Config{Store: openStore(t, dir)})
+	var ls struct {
+		Structures []StructureInfo `json:"structures"`
+		Persisted  []PersistedInfo `json:"persisted"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/structures", &ls); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(ls.Structures) != 0 {
+		t.Fatalf("cold server lists %d cached structures, want 0", len(ls.Structures))
+	}
+	if len(ls.Persisted) != 1 {
+		t.Fatalf("listed %d persisted structures, want 1", len(ls.Persisted))
+	}
+	p := ls.Persisted[0]
+	if p.Circuit != "circ01" || p.Placements == 0 || p.Bytes == 0 || p.Created.IsZero() {
+		t.Fatalf("persisted row missing metadata: %+v", p)
+	}
+	if p.Cached {
+		t.Error("cold entry reported as cached")
+	}
+}
+
+// corruptFile flips a byte in the middle of a store file.
+func corruptFile(t *testing.T, dir, name string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,267 @@
+// Package store implements the disk-backed structure repository behind the
+// paper's "generate once, instantiate forever" premise (Fig. 1): generated
+// multi-placement structures outlive the process that paid for them. A Dir
+// holds one structure file per canonical (circuit, seed, options) key —
+// written atomically in the v2 binary format (internal/core/codec.go) —
+// plus a rewritable JSON manifest recording circuit, seed, options,
+// placement count, byte size, and creation time.
+//
+// internal/serve uses a Dir as a write-through layer under its LRU cache:
+// finished generations are persisted in the background, cache misses
+// consult the store before paying for an annealing run, and mpsd
+// warm-starts from the newest entries at boot.
+//
+// A Dir is safe for concurrent use. Corrupt files are detected on Get (the
+// v2 checksum plus core.Load's semantic validation) and reported, never
+// silently repaired.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mps/internal/core"
+	"mps/internal/netlist"
+)
+
+// ErrNotFound reports a key with no persisted structure.
+var ErrNotFound = errors.New("store: structure not found")
+
+// manifestName is the index file inside a store directory.
+const manifestName = "manifest.json"
+
+// Meta is one manifest row: everything a server needs to list or reload a
+// persisted structure without opening its file.
+type Meta struct {
+	// Key is the canonical (circuit, seed, options) cache key.
+	Key string `json:"key"`
+	// Circuit and Seed identify the generation inputs; Options carries the
+	// caller's full canonical spec (serve stores the normalized
+	// GenerateSpec as JSON) so a restarted server can rebuild cache
+	// entries from the manifest alone.
+	Circuit string `json:"circuit"`
+	Seed    int64  `json:"seed"`
+	Options string `json:"options,omitempty"`
+	// Placements and Coverage snapshot the structure at persist time.
+	Placements int     `json:"placements"`
+	Coverage   float64 `json:"coverage,omitempty"`
+	// Bytes is the structure file's size; Created its persist time (UTC).
+	Bytes   int64     `json:"bytes"`
+	Created time.Time `json:"created"`
+	// File is the structure's filename inside the store directory.
+	File string `json:"file"`
+}
+
+type manifest struct {
+	Version int    `json:"version"`
+	Entries []Meta `json:"entries"`
+}
+
+// Dir is a disk-backed structure repository rooted at one directory.
+type Dir struct {
+	root string
+
+	// mu guards entries and is held only for map access, never across
+	// disk I/O, so reads (Stat/List — the serve read-through's first
+	// stop) never stall behind an fsyncing writer.
+	mu      sync.Mutex
+	entries map[string]Meta
+
+	// writeMu serializes manifest rewrites; the entries snapshot is taken
+	// after acquiring it, so the last manifest written always reflects
+	// every earlier mutation (no lost updates between concurrent Puts).
+	writeMu sync.Mutex
+}
+
+// Open opens (creating if needed) a store directory and loads its
+// manifest. Manifest rows whose structure file has gone missing are
+// dropped, and temp files left by crashed writers are swept, so Open
+// always yields a servable view of what is actually on disk.
+func Open(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d := &Dir{root: root, entries: map[string]Meta{}}
+	if stale, err := filepath.Glob(filepath.Join(root, tmpPrefix+"*")); err == nil {
+		for _, f := range stale {
+			os.Remove(f)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(root, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return d, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: corrupt manifest in %s: %w", root, err)
+	}
+	for _, e := range m.Entries {
+		if e.Key == "" || e.File == "" || strings.ContainsAny(e.File, "/\\") {
+			continue // malformed or path-escaping row
+		}
+		if _, err := os.Stat(filepath.Join(root, e.File)); err != nil {
+			continue // structure file gone; drop the row
+		}
+		d.entries[e.Key] = e
+	}
+	return d, nil
+}
+
+// Root returns the directory the store lives in.
+func (d *Dir) Root() string { return d.root }
+
+// Len returns the number of persisted structures.
+func (d *Dir) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// Put persists the structure under meta.Key, overwriting any previous
+// entry for that key. The structure file is written atomically before the
+// manifest row lands, so a crash between the two leaves at worst an
+// unreferenced file that the next Put for the key reuses. Meta's File,
+// Bytes, and (when zero) Created and Placements fields are filled in; the
+// completed row is returned.
+func (d *Dir) Put(meta Meta, s *core.Structure) (Meta, error) {
+	if meta.Key == "" {
+		return Meta{}, fmt.Errorf("store: empty key")
+	}
+	if s == nil {
+		return Meta{}, fmt.Errorf("store: nil structure for key %q", meta.Key)
+	}
+	meta.File = fileName(meta.Key)
+	if meta.Created.IsZero() {
+		meta.Created = time.Now().UTC()
+	}
+	if meta.Placements == 0 {
+		meta.Placements = s.NumPlacements()
+	}
+
+	// The structure write happens outside the entries lock: concurrent
+	// Puts to one key land on the same filename, where the atomic rename
+	// makes the race benign (one complete file wins).
+	n, err := WriteFileAtomic(filepath.Join(d.root, meta.File), s.SaveBinary)
+	if err != nil {
+		return Meta{}, fmt.Errorf("store: %w", err)
+	}
+	meta.Bytes = n
+	d.mu.Lock()
+	d.entries[meta.Key] = meta
+	d.mu.Unlock()
+	if err := d.saveManifest(); err != nil {
+		return Meta{}, err
+	}
+	return meta, nil
+}
+
+// Get loads the persisted structure for key. The circuit must be the
+// topology the structure was generated for; decoding and validation go
+// through core.Load, so checksum or semantic corruption surfaces as an
+// error here rather than as wrong placements later.
+func (d *Dir) Get(key string, c *netlist.Circuit) (*core.Structure, Meta, error) {
+	meta, ok := d.Stat(key)
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	f, err := os.Open(filepath.Join(d.root, meta.File))
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	s, err := core.Load(f, c)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("store: loading %s: %w", meta.File, err)
+	}
+	return s, meta, nil
+}
+
+// Stat returns the manifest row for key without touching the structure
+// file.
+func (d *Dir) Stat(key string) (Meta, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	meta, ok := d.entries[key]
+	return meta, ok
+}
+
+// List returns all manifest rows, newest first (ties broken by key so the
+// order is deterministic).
+func (d *Dir) List() []Meta {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Meta, 0, len(d.entries))
+	for _, m := range d.entries {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.After(out[j].Created)
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Delete removes key's structure file and manifest row. Deleting an
+// absent key returns ErrNotFound.
+func (d *Dir) Delete(key string) error {
+	d.mu.Lock()
+	meta, ok := d.entries[key]
+	if ok {
+		delete(d.entries, key)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err := os.Remove(filepath.Join(d.root, meta.File)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return d.saveManifest()
+}
+
+// saveManifest rewrites the manifest atomically. Writers are serialized
+// by writeMu and snapshot entries after acquiring it, so whichever write
+// lands last carries every mutation that preceded it.
+func (d *Dir) saveManifest() error {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	d.mu.Lock()
+	m := manifest{Version: 1, Entries: make([]Meta, 0, len(d.entries))}
+	for _, e := range d.entries {
+		m.Entries = append(m.Entries, e)
+	}
+	d.mu.Unlock()
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Key < m.Entries[j].Key })
+	_, err := WriteFileAtomic(filepath.Join(d.root, manifestName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// fileName derives a filesystem-safe, collision-resistant filename from a
+// cache key (keys contain '|' and '=' and can exceed name length limits).
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:8]) + ".mps"
+}

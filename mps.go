@@ -21,6 +21,7 @@ package mps
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"mps/internal/bdio"
@@ -30,6 +31,7 @@ import (
 	"mps/internal/explorer"
 	"mps/internal/netlist"
 	"mps/internal/seqpair"
+	"mps/internal/store"
 	"mps/internal/template"
 )
 
@@ -171,21 +173,46 @@ func newBackup(c *Circuit, kind BackupKind) core.Backup {
 	return template.Balanced(c)
 }
 
-// SaveFile writes the structure to path (gob format).
+// Format selects the on-disk encoding used by SaveFileFormat.
+type Format int
+
+const (
+	// FormatBinary is the v2 codec (magic + version header, varint-packed
+	// arrays, trailing CRC-32C): smaller and faster to load than gob, and
+	// corruption is detected before any semantic validation. Default.
+	FormatBinary Format = iota
+	// FormatGob is the legacy v1 gob encoding, kept so files can still be
+	// produced for readers that predate the v2 codec.
+	FormatGob
+)
+
+// SaveFile writes the structure to path in the v2 binary format. The
+// write is crash-safe: content lands in a temp file in path's directory
+// and is fsynced and renamed over path, so an interrupted save never
+// truncates or tears an existing structure file.
 func (s *Structure) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return s.SaveFileFormat(path, FormatBinary)
+}
+
+// SaveFileFormat is SaveFile with an explicit format choice. Both formats
+// are written atomically and both load back through LoadFile, which
+// sniffs the header.
+func (s *Structure) SaveFileFormat(path string, f Format) error {
+	_, err := store.WriteFileAtomic(path, func(w io.Writer) error {
+		if f == FormatGob {
+			return s.Save(w)
+		}
+		return s.SaveBinary(w)
+	})
 	if err != nil {
 		return fmt.Errorf("mps: %w", err)
 	}
-	defer f.Close()
-	if err := s.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
-// LoadFile reads a structure previously saved for the given circuit and
-// re-installs the default template backup.
+// LoadFile reads a structure previously saved for the given circuit —
+// either format, sniffed from the file header — and re-installs the
+// default template backup.
 func LoadFile(path string, c *Circuit) (*Structure, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -198,4 +225,12 @@ func LoadFile(path string, c *Circuit) (*Structure, error) {
 	}
 	s.SetBackup(template.Balanced(c))
 	return &Structure{s}, nil
+}
+
+// SetBackupKind installs the uncovered-space backup selected by kind,
+// replacing any installed backup. It exists for callers that obtain a
+// structure outside Generate/LoadFile (e.g. the serving layer rehydrating
+// from its disk store) and must re-attach the backup their spec named.
+func (s *Structure) SetBackupKind(kind BackupKind) {
+	s.SetBackup(newBackup(s.Circuit(), kind))
 }
