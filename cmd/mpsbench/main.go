@@ -8,6 +8,9 @@
 //	mpsbench -table1 -table2
 //	mpsbench -fig5 -fig6 -fig7 -out results/
 //	mpsbench -saveload              # on-disk codec comparison (gob v1 vs binary v2)
+//	mpsbench -micro [-json]         # serving-stack micro-benchmarks; -json also
+//	                                # writes machine-readable BENCH_results.json
+//	                                # (op names, ns/op, bytes/op) for CI archiving
 package main
 
 import (
@@ -34,17 +37,22 @@ func main() {
 	scaling := flag.Bool("scaling", false, "run the block-count scaling study (extension)")
 	synthCmp := flag.Bool("synth", false, "run the Fig. 1b synthesis-loop provider comparison (extension)")
 	saveload := flag.Bool("saveload", false, "benchmark the on-disk codecs: gob v1 vs binary v2 per circuit (extension)")
+	micro := flag.Bool("micro", false, "run the serving-stack micro-benchmarks (generate, instantiate, codecs)")
+	jsonOut := flag.Bool("json", false, "write micro-benchmark results to BENCH_results.json (implies -micro; lands in -out when set)")
 	all := flag.Bool("all", false, "reproduce everything")
 	effortFlag := flag.String("effort", "standard", "generation budget: quick, standard, full")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "", "directory for figure files (optional)")
 	flag.Parse()
 
+	if *jsonOut {
+		*micro = true
+	}
 	if *all {
 		*table1, *table2, *fig5, *fig6, *fig7 = true, true, true, true, true
-		*scaling, *synthCmp, *saveload = true, true, true
+		*scaling, *synthCmp, *saveload, *micro = true, true, true, true
 	}
-	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload) {
+	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload || *micro) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -149,6 +157,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println()
+	}
+	if *micro {
+		results, err := experiments.RunMicro(os.Stdout, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if *jsonOut {
+			dir := *out
+			if dir == "" {
+				dir = "."
+			}
+			path := filepath.Join(dir, "BENCH_results.json")
+			if err := experiments.WriteBenchJSON(path, *seed, results); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 }
 

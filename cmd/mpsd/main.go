@@ -9,6 +9,7 @@
 //	mpsd [-addr :8723] [-cache 8] [-workers 0] [-max-batch 8192]
 //	     [-max-iterations 5000] [-preload TwoStageOpamp]
 //	     [-store-dir /var/lib/mpsd] [-store-warm -1]
+//	     [-gen-workers 2] [-jobs-dir /var/lib/mpsd-jobs] [-jobs-resume]
 //
 // With -store-dir, generated structures are persisted to a disk-backed
 // repository (atomic v2 binary files plus a JSON manifest) and the daemon
@@ -16,18 +17,31 @@
 // size) are loaded into the LRU at boot, and any cache miss consults the
 // store before regenerating, so a restart never repeats an annealing run.
 //
+// Generation runs as a background workload on a job scheduler with
+// -gen-workers annealing workers. With -jobs-dir, job state survives
+// restarts: completed jobs stay listed, and jobs the previous process
+// accepted but never finished are resubmitted at boot (-jobs-resume=false
+// leaves them reported as interrupted instead). A graceful shutdown
+// (SIGINT/SIGTERM) cancels in-flight generation jobs cooperatively — the
+// nested annealers stop within one proposal — before draining HTTP.
+//
 // Endpoints:
 //
-//	GET  /healthz          liveness probe
-//	GET  /v1/circuits      list benchmark circuits
-//	GET  /v1/structures    list cached structures
-//	POST /v1/structures    generate (or fetch cached) structure for a spec
-//	POST /v1/instantiate   answer a batch of dimension queries
+//	GET    /healthz          liveness probe + job queue counts
+//	GET    /v1/circuits      list benchmark circuits
+//	GET    /v1/structures    list cached + persisted structures
+//	POST   /v1/structures    generate (submit-and-wait) a structure for a spec
+//	POST   /v1/instantiate   answer a batch of dimension queries
+//	POST   /v1/jobs          submit a generation job; returns its id at once
+//	GET    /v1/jobs          list jobs, newest first, with queue stats
+//	GET    /v1/jobs/{id}     one job's live progress snapshot
+//	DELETE /v1/jobs/{id}     cancel a queued (never runs) or running job
 //
 // Example session:
 //
-//	curl -s -X POST localhost:8723/v1/structures \
-//	  -d '{"circuit":"TwoStageOpamp","seed":1,"effort":"quick"}'
+//	curl -s -X POST localhost:8723/v1/jobs \
+//	  -d '{"spec":{"circuit":"TwoStageOpamp","seed":1},"priority":5}'
+//	curl -s localhost:8723/v1/jobs/job-000001
 //	curl -s -X POST localhost:8723/v1/instantiate \
 //	  -d '{"spec":{"circuit":"TwoStageOpamp","seed":1,"effort":"quick"},
 //	       "queries":[{"ws":[20,16,12,24,18],"hs":[10,8,7,12,18]}]}'
@@ -44,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"mps/internal/jobs"
 	"mps/internal/serve"
 	"mps/internal/store"
 )
@@ -64,6 +79,12 @@ func main() {
 		"persistent structure store directory (empty = memory-only)")
 	storeWarm := flag.Int("store-warm", -1,
 		"structures to warm-load from the store at startup (-1 = cache size, 0 = disable)")
+	genWorkers := flag.Int("gen-workers", 2,
+		"generation job workers (concurrent annealing runs)")
+	jobsDir := flag.String("jobs-dir", "",
+		"job-state persistence directory (empty = in-memory job history)")
+	jobsResume := flag.Bool("jobs-resume", true,
+		"resubmit jobs the previous process accepted but never finished (needs -jobs-dir)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -71,6 +92,7 @@ func main() {
 		Workers:               *workers,
 		MaxBatch:              *maxBatch,
 		MaxGenerateIterations: *maxIterations,
+		Logf:                  log.Printf,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
@@ -78,8 +100,16 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg.Store = st
-		cfg.Logf = log.Printf
 	}
+	sched, err := jobs.New(jobs.Config{
+		Workers: *genWorkers,
+		Dir:     *jobsDir,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Jobs = sched
 	srv := serve.New(cfg)
 
 	if cfg.Store != nil && *storeWarm != 0 {
@@ -90,6 +120,17 @@ func main() {
 		}
 		log.Printf("warm-started %d of %d persisted structures from %s in %s",
 			n, cfg.Store.Len(), *storeDir, time.Since(start).Round(time.Millisecond))
+	}
+
+	if interrupted := sched.Interrupted(); len(interrupted) > 0 {
+		if *jobsResume {
+			n := srv.ResumeInterrupted()
+			log.Printf("resubmitted %d of %d generation jobs interrupted by the last shutdown",
+				n, len(interrupted))
+		} else {
+			log.Printf("%d generation jobs interrupted by the last shutdown (listed as failed; -jobs-resume to resubmit)",
+				len(interrupted))
+		}
 	}
 
 	if *preload != "" {
@@ -130,11 +171,18 @@ func main() {
 	case <-ctx.Done():
 	}
 	// Restore default signal handling so a second SIGINT/SIGTERM kills the
-	// process immediately, then drain: the timeout matches WriteTimeout so
-	// an in-flight cold generation is not discarded by its own shutdown.
+	// process immediately.
 	stop()
 	log.Print("shutting down (interrupt again to force quit)")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	// Cancel generation first: closing the server shuts the job scheduler
+	// down, which stops in-flight annealing cooperatively (the context
+	// plumbed through explorer and the BDIO ends the run within one
+	// proposal) and fails waiting clients with 503s — with -jobs-dir the
+	// state file records the interrupted jobs for resubmission at the next
+	// boot. Only then drain HTTP; nothing is left to block on for minutes,
+	// so the drain needs seconds, not the old generation-scale timeout.
+	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

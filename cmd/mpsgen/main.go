@@ -79,9 +79,10 @@ func main() {
 		log.Fatalf("unknown format %q (want binary or gob)", *format)
 	}
 	if *verbose {
-		opts.Progress = func(chain, iter, n int) {
-			if iter%10 == 0 {
-				log.Printf("chain %d iter %d: %d placements", chain, iter, n)
+		opts.Progress = func(p mps.Progress) {
+			if p.Iteration%10 == 0 {
+				log.Printf("chain %d iter %d: %d placements (%.3g coverage)",
+					p.Chain, p.Iteration, p.Placements, p.Coverage)
 			}
 		}
 	}

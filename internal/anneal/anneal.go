@@ -49,6 +49,12 @@ type Config struct {
 	Rand *rand.Rand
 	// OnStep, when non-nil, observes every step after it resolves.
 	OnStep func(s Step)
+	// Stop, when non-nil, requests cooperative cancellation: the run checks
+	// it before every proposal and returns ErrStopped (with the statistics
+	// accumulated so far) as soon as it is closed. Callers typically pass a
+	// context's Done channel, which makes every annealer in the nested
+	// generation stack stop within one proposal of the context ending.
+	Stop <-chan struct{}
 }
 
 // Step describes one annealing step for observers.
@@ -83,6 +89,12 @@ func (s Stats) AcceptRate() float64 {
 
 // ErrNoSteps is returned when Config.Steps resolves to a non-positive count.
 var ErrNoSteps = errors.New("anneal: no steps configured")
+
+// ErrStopped is returned when Config.Stop fires mid-run. The Stats returned
+// alongside it are valid for the steps that did complete, and the problem
+// holds its last-accepted solution, so a stopped run is a shorter run, not
+// a corrupt one.
+var ErrStopped = errors.New("anneal: stopped")
 
 // Run anneals the problem starting from the given initial cost and returns
 // run statistics. The problem is left holding its final (last-accepted)
@@ -121,7 +133,18 @@ func Run(p Problem, initCost float64, cfg Config) (Stats, error) {
 	var costSum float64
 	initialTemp := temp
 
+	var stopped bool
 	for i := 0; i < steps && temp > minTemp; i++ {
+		if cfg.Stop != nil {
+			select {
+			case <-cfg.Stop:
+				stopped = true
+			default:
+			}
+			if stopped {
+				break
+			}
+		}
 		magnitude := temp / initialTemp
 		if magnitude > 1 {
 			magnitude = 1
@@ -154,6 +177,9 @@ func Run(p Problem, initCost float64, cfg Config) (Stats, error) {
 		stats.MeanCost = costSum / float64(stats.Steps)
 	} else {
 		stats.MeanCost = initCost
+	}
+	if stopped {
+		return stats, ErrStopped
 	}
 	return stats, nil
 }

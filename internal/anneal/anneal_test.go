@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -180,5 +181,46 @@ func TestInitialTempCalibration(t *testing.T) {
 	}
 	if stats.BestCost >= stats.InitCost {
 		t.Errorf("no improvement: best %g vs init %g", stats.BestCost, stats.InitCost)
+	}
+}
+
+func TestRunStopChannel(t *testing.T) {
+	// A stop after N steps halts the run with ErrStopped and stats for the
+	// steps that completed.
+	stop := make(chan struct{})
+	q := &quadratic{x: 1000, target: 0, step: 10}
+	steps := 0
+	stats, err := Run(q, q.cost(q.x), Config{
+		Steps: 1 << 20,
+		Seed:  3,
+		Stop:  stop,
+		OnStep: func(Step) {
+			steps++
+			if steps == 25 {
+				close(stop)
+			}
+		},
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if stats.Steps != 25 {
+		t.Errorf("Steps = %d, want 25 (stop checked before every proposal)", stats.Steps)
+	}
+
+	// A pre-closed stop channel runs zero steps.
+	closed := make(chan struct{})
+	close(closed)
+	stats, err = Run(q, q.cost(q.x), Config{Steps: 100, Seed: 4, Stop: closed})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("pre-closed stop: err = %v, want ErrStopped", err)
+	}
+	if stats.Steps != 0 {
+		t.Errorf("pre-closed stop ran %d steps, want 0", stats.Steps)
+	}
+
+	// A nil stop channel never fires.
+	if _, err := Run(q, q.cost(q.x), Config{Steps: 50, Seed: 5}); err != nil {
+		t.Fatalf("nil stop: %v", err)
 	}
 }

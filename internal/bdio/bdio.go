@@ -40,6 +40,11 @@ type Config struct {
 	DisableRangeShrink bool
 	// Rand supplies randomness; required (pass a seeded *rand.Rand).
 	Rand *rand.Rand
+	// Stop, when non-nil, cooperatively cancels the inner annealing run:
+	// Optimize returns anneal.ErrStopped within one proposal of it closing.
+	// The Placement Explorer wires a context's Done channel here so a
+	// cancelled generation stops mid-BDIO, not at the next outer iteration.
+	Stop <-chan struct{}
 }
 
 func (cfg Config) withDefaults() Config {
@@ -170,8 +175,12 @@ func Optimize(c *netlist.Circuit, p *placement.Placement, fp geom.Rect, ev cost.
 		Cooling: cfg.Cooling,
 		Steps:   cfg.Steps,
 		Rand:    cfg.Rand,
+		Stop:    cfg.Stop,
 	})
 	if err != nil {
+		// A stopped run is propagated unwrapped in meaning: callers match it
+		// with errors.Is(err, anneal.ErrStopped) to tell cancellation from
+		// misconfiguration.
 		return Result{}, fmt.Errorf("bdio: %w", err)
 	}
 

@@ -104,13 +104,13 @@ func tryMerge(p, q *placement.Placement) *placement.Placement {
 	if diffDim == 0 {
 		lenP = p.WHi[diffBlock] - p.WLo[diffBlock] + 1
 		lenQ = q.WHi[diffBlock] - q.WLo[diffBlock] + 1
-		m.WLo[diffBlock] = minInt(p.WLo[diffBlock], q.WLo[diffBlock])
-		m.WHi[diffBlock] = maxInt(p.WHi[diffBlock], q.WHi[diffBlock])
+		m.WLo[diffBlock] = min(p.WLo[diffBlock], q.WLo[diffBlock])
+		m.WHi[diffBlock] = max(p.WHi[diffBlock], q.WHi[diffBlock])
 	} else {
 		lenP = p.HHi[diffBlock] - p.HLo[diffBlock] + 1
 		lenQ = q.HHi[diffBlock] - q.HLo[diffBlock] + 1
-		m.HLo[diffBlock] = minInt(p.HLo[diffBlock], q.HLo[diffBlock])
-		m.HHi[diffBlock] = maxInt(p.HHi[diffBlock], q.HHi[diffBlock])
+		m.HLo[diffBlock] = min(p.HLo[diffBlock], q.HLo[diffBlock])
+		m.HHi[diffBlock] = max(p.HHi[diffBlock], q.HHi[diffBlock])
 	}
 	total := float64(lenP + lenQ)
 	m.AvgCost = (p.AvgCost*float64(lenP) + q.AvgCost*float64(lenQ)) / total
@@ -124,18 +124,4 @@ func tryMerge(p, q *placement.Placement) *placement.Placement {
 		m.BestH = append([]int(nil), better.BestH...)
 	}
 	return m
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"mps/internal/core"
+	"mps/internal/stats"
+	"mps/internal/store"
+)
+
+// BenchResult is one machine-readable micro-benchmark row: the op name
+// plus the standard testing.Benchmark metrics. This is the schema CI
+// archives (BENCH_results.json), seeding the performance trajectory the
+// ROADMAP calls for — comparable run over run because names and units
+// never change.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"` // iterations the harness settled on
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchReport is the BENCH_results.json document.
+type BenchReport struct {
+	Version    int           `json:"version"`
+	GoOS       string        `json:"goos"`
+	GoArch     string        `json:"goarch"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Seed       int64         `json:"seed"`
+	Created    time.Time     `json:"created"`
+	Results    []BenchResult `json:"results"`
+}
+
+// RunMicro benchmarks the serving stack's critical operations — quick
+// generation, single and batched instantiation, and both on-disk codecs —
+// via testing.Benchmark, renders a table to w, and returns the rows for
+// WriteBenchJSON. The quick-effort budgets keep a full run in the tens of
+// seconds, small enough for CI.
+func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
+	// One structure powers the instantiate and codec benchmarks; quick
+	// effort keeps its generation out of the measured loops' noise floor.
+	s, _, err := GenerateForBenchmark("TwoStageOpamp", EffortQuick, seed)
+	if err != nil {
+		return nil, err
+	}
+	c := s.Circuit()
+	rng := rand.New(rand.NewSource(seed))
+	const batchSize = 1024
+	ws := make([][]int, batchSize)
+	hs := make([][]int, batchSize)
+	for q := 0; q < batchSize; q++ {
+		ws[q] = make([]int, c.N())
+		hs[q] = make([]int, c.N())
+		for i, b := range c.Blocks {
+			ws[q][i] = b.WMin + rng.Intn(b.WMax-b.WMin+1)
+			hs[q][i] = b.HMin + rng.Intn(b.HMax-b.HMin+1)
+		}
+	}
+	var v2 bytes.Buffer
+	if err := s.SaveBinary(&v2); err != nil {
+		return nil, err
+	}
+	var v1 bytes.Buffer
+	if err := s.Save(&v1); err != nil {
+		return nil, err
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"generate/circ01/quick", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := GenerateForBenchmark("circ01", EffortQuick, seed+int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"instantiate/TwoStageOpamp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := i % batchSize
+				if _, err := s.Instantiate(ws[q], hs[q]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"encode/binary_v2", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := s.SaveBinary(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"decode/binary_v2", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Load(bytes.NewReader(v2.Bytes()), c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"encode/gob_v1", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := s.Save(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"decode/gob_v1", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Load(bytes.NewReader(v1.Bytes()), c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	fmt.Fprintln(w, "Micro-benchmarks (testing.Benchmark, default 1s per op)")
+	tb := stats.NewTable("op", "n", "ns/op", "B/op", "allocs/op")
+	out := make([]BenchResult, 0, len(benches))
+	for _, bench := range benches {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bench.fn(b)
+		})
+		row := BenchResult{
+			Name:        bench.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		out = append(out, row)
+		tb.AddRow(row.Name, row.N, fmt.Sprintf("%.0f", row.NsPerOp), row.BytesPerOp, row.AllocsPerOp)
+	}
+	tb.Render(w)
+	return out, nil
+}
+
+// WriteBenchJSON writes the rows as a BENCH_results.json document at
+// path, atomically (CI uploads the file; a crashed run must not leave a
+// torn one).
+func WriteBenchJSON(path string, seed int64, results []BenchResult) error {
+	report := BenchReport{
+		Version:    1,
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Created:    time.Now().UTC(),
+		Results:    results,
+	}
+	_, err := store.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	})
+	return err
+}

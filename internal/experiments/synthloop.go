@@ -63,7 +63,7 @@ func RunSynthComparison(w io.Writer, s *core.Structure, seed int64) ([]SynthRow,
 			Provider:   pv.name,
 			BestCost:   res.BestCost,
 			Iterations: res.Iterations,
-			TimePerIt:  res.TotalTime / time.Duration(maxInt(1, res.Iterations)),
+			TimePerIt:  res.TotalTime / time.Duration(max(1, res.Iterations)),
 			PlaceTime:  res.AvgPlaceTime(),
 		})
 	}
@@ -78,11 +78,4 @@ func RunSynthComparison(w io.Writer, s *core.Structure, seed int64) ([]SynthRow,
 		tb.Render(w)
 	}
 	return rows, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

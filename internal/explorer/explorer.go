@@ -13,12 +13,15 @@
 package explorer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"time"
 
+	"mps/internal/anneal"
 	"mps/internal/bdio"
 	"mps/internal/core"
 	"mps/internal/cost"
@@ -62,9 +65,23 @@ type Config struct {
 	// Chains runs this many independent explorer chains feeding one
 	// structure (extension; see DESIGN.md §6 ablations). Default 1.
 	Chains int
-	// Progress, when non-nil, observes each iteration (chain, iteration,
-	// structure size). Called under the structure lock; keep it fast.
-	Progress func(chain, iter, numPlacements int)
+	// Progress, when non-nil, observes each iteration. Called under the
+	// structure lock; keep it fast.
+	Progress func(Progress)
+}
+
+// Progress is one generation progress snapshot, reported once per outer
+// iteration. Placements and Coverage describe the shared structure, so
+// with multiple chains they advance monotonically even though Chain and
+// Iteration interleave.
+type Progress struct {
+	// Chain is the reporting explorer chain, Iteration its outer-SA step.
+	Chain     int
+	Iteration int
+	// Placements is the structure's current stored-placement count.
+	Placements int
+	// Coverage is the structure's exact covered volume fraction so far.
+	Coverage float64
 }
 
 func (cfg Config) withDefaults(c *netlist.Circuit) Config {
@@ -112,6 +129,15 @@ type Stats struct {
 
 // Generate runs the Placement Explorer and returns the filled structure.
 func Generate(c *netlist.Circuit, cfg Config) (*core.Structure, Stats, error) {
+	return GenerateContext(context.Background(), c, cfg)
+}
+
+// GenerateContext is Generate with cooperative cancellation: the context's
+// Done channel is checked between outer iterations and threaded into the
+// inner annealer, so a cancelled generation stops within one BDIO proposal.
+// On cancellation the context's error is returned and the partially filled
+// structure is discarded — generation is all or nothing.
+func GenerateContext(ctx context.Context, c *netlist.Circuit, cfg Config) (*core.Structure, Stats, error) {
 	if err := c.Validate(); err != nil {
 		return nil, Stats{}, fmt.Errorf("explorer: %w", err)
 	}
@@ -124,7 +150,7 @@ func Generate(c *netlist.Circuit, cfg Config) (*core.Structure, Stats, error) {
 	stats.Chains = cfg.Chains
 
 	if cfg.Chains == 1 {
-		if err := runChain(c, s, cfg, 0, rand.New(rand.NewSource(cfg.Seed)), &stats, nil); err != nil {
+		if err := runChain(ctx, c, s, cfg, 0, rand.New(rand.NewSource(cfg.Seed)), &stats, nil); err != nil {
 			return nil, stats, err
 		}
 	} else {
@@ -136,7 +162,7 @@ func Generate(c *netlist.Circuit, cfg Config) (*core.Structure, Stats, error) {
 			go func(ch int) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(ch)*7919))
-				errs[ch] = runChain(c, s, cfg, ch, rng, &stats, &mu)
+				errs[ch] = runChain(ctx, c, s, cfg, ch, rng, &stats, &mu)
 			}(ch)
 		}
 		wg.Wait()
@@ -154,7 +180,7 @@ func Generate(c *netlist.Circuit, cfg Config) (*core.Structure, Stats, error) {
 
 // runChain executes one explorer chain. When mu is non-nil, structure
 // access and stats updates are serialized across chains.
-func runChain(c *netlist.Circuit, s *core.Structure, cfg Config, chain int, rng *rand.Rand, stats *Stats, mu *sync.Mutex) error {
+func runChain(ctx context.Context, c *netlist.Circuit, s *core.Structure, cfg Config, chain int, rng *rand.Rand, stats *Stats, mu *sync.Mutex) error {
 	lock := func() {
 		if mu != nil {
 			mu.Lock()
@@ -175,14 +201,18 @@ func runChain(c *netlist.Circuit, s *core.Structure, cfg Config, chain int, rng 
 	temp := cfg.InitialTemp
 	cool := cfg.Cooling
 
-	iters := cfg.MaxIterations / maxInt(1, cfg.Chains)
+	iters := cfg.MaxIterations / max(1, cfg.Chains)
 	if iters < 1 {
 		iters = 1
 	}
 	bcfg := cfg.BDIO
 	bcfg.Rand = rng
+	bcfg.Stop = ctx.Done()
 
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("explorer: generation cancelled: %w", err)
+		}
 		// Perturb Placement: the candidate's coordinates come from the last
 		// accepted placement (paper: "Otherwise, the last accepted placement
 		// is used"), moved with toroidal wrap. The first iteration explores
@@ -211,6 +241,11 @@ func runChain(c *netlist.Circuit, s *core.Structure, cfg Config, chain int, rng 
 		// Inner annealer: shrink intervals, attach costs.
 		res, err := bdio.Optimize(c, cand, cfg.Floorplan, cfg.Evaluator, bcfg)
 		if err != nil {
+			// A stop mid-BDIO is a cancellation, not an annealer fault: the
+			// half-optimized candidate is discarded, never stored.
+			if errors.Is(err, anneal.ErrStopped) {
+				return fmt.Errorf("explorer: generation cancelled: %w", context.Cause(ctx))
+			}
 			return fmt.Errorf("explorer: %w", err)
 		}
 
@@ -231,7 +266,12 @@ func runChain(c *netlist.Circuit, s *core.Structure, cfg Config, chain int, rng 
 			stats.BestAvgCost = res.AvgCost
 		}
 		if cfg.Progress != nil {
-			cfg.Progress(chain, it, s.NumPlacements())
+			cfg.Progress(Progress{
+				Chain:      chain,
+				Iteration:  it,
+				Placements: s.NumPlacements(),
+				Coverage:   s.Coverage(),
+			})
 		}
 		stop := (cfg.MaxPlacements > 0 && s.NumPlacements() >= cfg.MaxPlacements) ||
 			(cfg.TargetCoverage > 0 && s.Coverage() >= cfg.TargetCoverage)
@@ -259,11 +299,4 @@ func runChain(c *netlist.Circuit, s *core.Structure, cfg Config, chain int, rng 
 		temp *= cool
 	}
 	return nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,8 +1,12 @@
 package explorer
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"mps/internal/bdio"
 	"mps/internal/circuits"
@@ -170,17 +174,87 @@ func TestGenerateProgressCallback(t *testing.T) {
 	c := circuits.MustByName("circ01")
 	cfg := quickCfg(6)
 	calls := 0
-	cfg.Progress = func(chain, iter, n int) {
+	lastPlacements, lastCoverage := 0, 0.0
+	cfg.Progress = func(p Progress) {
 		calls++
-		if chain != 0 {
-			t.Errorf("chain = %d, want 0 for single-chain run", chain)
+		if p.Chain != 0 {
+			t.Errorf("chain = %d, want 0 for single-chain run", p.Chain)
 		}
+		// Placement count and coverage can dip when overlap resolution
+		// trims or removes stored boxes, so they are recorded, not ordered.
+		lastPlacements, lastCoverage = p.Placements, p.Coverage
 	}
 	if _, _, err := Generate(c, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if calls != cfg.MaxIterations {
 		t.Errorf("Progress called %d times, want %d", calls, cfg.MaxIterations)
+	}
+	if lastPlacements == 0 || lastCoverage == 0 {
+		t.Error("progress never reported stored placements or coverage")
+	}
+}
+
+// TestGenerateContextCancel checks cooperative cancellation: a context
+// cancelled mid-run stops the nested annealers promptly and reports the
+// context's error, returning no structure.
+func TestGenerateContextCancel(t *testing.T) {
+	c := circuits.MustByName("circ02")
+	cfg := quickCfg(7)
+	cfg.MaxIterations = 1 << 20 // would run for a very long time uncancelled
+	ctx, cancel := context.WithCancel(context.Background())
+	iterations := 0
+	cfg.Progress = func(Progress) {
+		iterations++
+		if iterations == 3 {
+			cancel()
+		}
+	}
+	start := time.Now()
+	s, _, err := GenerateContext(ctx, c, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s != nil {
+		t.Error("cancelled generation returned a structure")
+	}
+	if iterations > 4 {
+		t.Errorf("ran %d iterations after cancellation", iterations-3)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %s", elapsed)
+	}
+}
+
+// TestGenerateContextCancelParallelChains: every chain must observe the
+// cancellation, and the shared structure must not be returned.
+func TestGenerateContextCancelParallelChains(t *testing.T) {
+	c := circuits.MustByName("circ02")
+	cfg := quickCfg(8)
+	cfg.MaxIterations = 1 << 20
+	cfg.Chains = 3
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	cfg.Progress = func(Progress) { once.Do(cancel) }
+	s, _, err := GenerateContext(ctx, c, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s != nil {
+		t.Error("cancelled parallel generation returned a structure")
+	}
+}
+
+// TestGenerateContextPreCancelled: an already-dead context must not start
+// any annealing work.
+func TestGenerateContextPreCancelled(t *testing.T) {
+	c := circuits.MustByName("circ01")
+	cfg := quickCfg(9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Progress = func(Progress) { t.Error("iteration ran under a pre-cancelled context") }
+	if _, _, err := GenerateContext(ctx, c, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -143,7 +143,7 @@ func Place(c *netlist.Circuit, fp geom.Rect, ws, hs []int, cfg Config) (Result, 
 		place:   p,
 		ev:      cfg.Evaluator,
 		swap:    cfg.SwapProb,
-		maxMove: maxInt(1, fp.W()/3),
+		maxMove: max(1, fp.W()/3),
 		layout: cost.Layout{
 			Circuit:   c,
 			X:         make([]int, n),
@@ -198,11 +198,4 @@ func (pv *Provider) Place(ws, hs []int) (x, y []int, err error) {
 		return nil, nil, err
 	}
 	return res.X, res.Y, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -16,6 +16,15 @@
 // annealing run (minutes), and Warm preloads the newest persisted
 // structures at startup — so a daemon restart never repeats generation
 // work (the paper's "generate once" made durable).
+//
+// Generation itself is a background workload: every annealing run is a job
+// on an internal/jobs scheduler (priority FIFO queue, bounded worker
+// pool), never an inline call on a request goroutine. POST /v1/structures
+// is submit-and-wait on that scheduler; POST /v1/jobs is submit-and-return
+// (a job id comes back immediately), with GET /v1/jobs/{id} serving live
+// progress snapshots and DELETE /v1/jobs/{id} cancelling cooperatively —
+// a queued job never runs, a running one stops annealing within one
+// inner-SA proposal and leaves no partial structure in cache or store.
 package serve
 
 import (
@@ -32,6 +41,7 @@ import (
 
 	"mps"
 	"mps/internal/circuits"
+	"mps/internal/jobs"
 	"mps/internal/store"
 )
 
@@ -48,10 +58,11 @@ type Config struct {
 	// requests queue. Keeps N concurrent clients from oversubscribing the
 	// CPU with N×Workers runnable goroutines. Default 4.
 	MaxConcurrentBatches int
-	// MaxConcurrentGenerations bounds how many structure generations run
-	// at once server-wide. Dedup only collapses identical specs; this
-	// stops a sweep of distinct seeds from launching unbounded annealing
-	// runs. Excess generation requests queue. Default 2.
+	// MaxConcurrentGenerations sizes the worker pool of the internally
+	// created job scheduler when Jobs is nil. Dedup only collapses
+	// identical specs; the worker pool stops a sweep of distinct seeds
+	// from launching unbounded annealing runs — excess jobs queue.
+	// Ignored when Jobs is provided (its own Workers applies). Default 2.
 	MaxConcurrentGenerations int
 	// MaxBatch caps queries per instantiate request. It also sizes the
 	// request body limit (~1 KiB per query), so it bounds per-request
@@ -69,6 +80,15 @@ type Config struct {
 	// them), and Warm preloads its newest entries into the LRU at
 	// startup. Nil keeps the server memory-only.
 	Store *store.Dir
+	// Jobs, when non-nil, is the generation job scheduler the server runs
+	// every annealing job on — supply one (see internal/jobs) to persist
+	// job state across restarts or to tune its worker pool. Nil creates a
+	// memory-only scheduler with MaxConcurrentGenerations workers. Either
+	// way the server owns the scheduler after New — Close shuts it down —
+	// and it must be exclusive to this server: job results publish into
+	// this server's cache entries, so two servers sharing a scheduler
+	// would dedup onto each other's jobs and hang.
+	Jobs *jobs.Scheduler
 	// Logf, when non-nil, receives operational log lines (store persist
 	// or warm-load failures). Nil discards them; counters still track.
 	Logf func(format string, args ...any)
@@ -98,10 +118,13 @@ func (cfg Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 
-	// batchSlots and genSlots are semaphores bounding concurrent batch
-	// executions and structure generations to their configured maxima.
+	// sched runs every generation as a background job; requests submit
+	// and wait instead of annealing inline.
+	sched *jobs.Scheduler
+
+	// batchSlots is a semaphore bounding concurrent batch executions to
+	// the configured maximum.
 	batchSlots chan struct{}
-	genSlots   chan struct{}
 
 	// genRuns counts full annealing runs started — not cache or store
 	// hits — so tests and operators can verify warm-started structures
@@ -119,25 +142,35 @@ type Server struct {
 	order *list.List // front = most recently used; values are *entry
 }
 
-// entry is one cached (or in-flight) generation. The once gates the
-// actual Generate call so concurrent requests for the same key share it.
+// entry is one cached (or in-flight) generation. The start once gates the
+// work — a disk-store rehydration or a job submission — so concurrent
+// requests for the same key share it; ready closes when the result (or
+// failure) publishes.
 type entry struct {
-	key  string
-	spec GenerateSpec
-	elem *list.Element
+	key      string
+	spec     GenerateSpec
+	priority int
+	elem     *list.Element
 
 	// waiters counts requests currently interested in this entry; the
-	// queued-generation cancel path only fires when the canceling request
-	// is the sole waiter, so one flaky client cannot fail a patient herd.
+	// queued-job cancel path only fires when the canceling request is
+	// the sole waiter, so one flaky client cannot fail a patient herd.
 	waiters atomic.Int64
 
-	once sync.Once
-	// done and the fields below are written exactly once, under the server
-	// mutex, when generation finishes. Readers must either hold the mutex
-	// and check done, or have returned from once.Do (which orders the
-	// writes before its return). placements and coverage snapshot the
-	// structure at publish time so listing the cache never walks structure
-	// internals while holding the global mutex.
+	start sync.Once
+	// ready closes exactly once, in publish, after the result fields
+	// below are set. Readers either select on ready (and then read the
+	// fields lock-free: they are never written again) or hold the server
+	// mutex and check done.
+	ready chan struct{}
+	// jobID is the scheduler job producing (or having produced) this
+	// entry; written under the server mutex in startWork, "" until then.
+	jobID string
+
+	// done and the fields below are written exactly once, under the
+	// server mutex, when generation finishes. placements and coverage
+	// snapshot the structure at publish time so listing the cache never
+	// walks structure internals while holding the global mutex.
 	done       bool
 	s          *mps.Structure
 	stats      mps.Stats
@@ -146,17 +179,37 @@ type entry struct {
 	err        error
 }
 
-// New returns a Server ready to serve.
+// New returns a Server ready to serve. The server owns its job scheduler
+// (provided or internally created): Close shuts it down.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	sched := cfg.Jobs
+	if sched == nil {
+		// A memory-only scheduler cannot fail to construct (no state file
+		// to load).
+		sched, _ = jobs.New(jobs.Config{
+			Workers: cfg.MaxConcurrentGenerations,
+			Logf:    cfg.Logf,
+		})
+	}
 	return &Server{
 		cfg:        cfg,
+		sched:      sched,
 		batchSlots: make(chan struct{}, cfg.MaxConcurrentBatches),
-		genSlots:   make(chan struct{}, cfg.MaxConcurrentGenerations),
 		cache:      make(map[string]*entry),
 		order:      list.New(),
 	}
 }
+
+// Close shuts down the server's job scheduler: queued jobs are abandoned,
+// running generations are cancelled cooperatively (the nested annealers
+// stop within one proposal), and waiting requests fail with a
+// cancellation error. Instantiate traffic against cached structures keeps
+// working. Call Flush separately to drain background store writes.
+func (s *Server) Close() { s.sched.Close() }
+
+// Jobs exposes the server's scheduler (for health endpoints and tests).
+func (s *Server) Jobs() *jobs.Scheduler { return s.sched }
 
 // GenerateSpec identifies a structure: the circuit plus every Generate
 // option that affects the result. It doubles as the cache key source.
@@ -297,19 +350,19 @@ func (s *Server) evictLocked() {
 	}
 }
 
-// structureFor returns the cached structure for the spec, generating it on
-// first use. Generation runs outside the cache lock; concurrent callers
-// for one key share a single run. The returned bool reports a true cache
-// hit — the entry had already finished generating — not merely landing on
-// an in-flight entry and waiting for it.
-func (s *Server) structureFor(ctx context.Context, spec GenerateSpec) (*entry, bool, error) {
+// ensure returns the cache entry for the spec, creating it and starting
+// its work (disk rehydration or job submission) on first use. The entry
+// comes back with the caller registered as a waiter — callers must
+// e.waiters.Add(-1) when done with it. The returned bool reports a true
+// cache hit: the entry had already finished, not merely landing on an
+// in-flight one.
+func (s *Server) ensure(spec GenerateSpec, priority int) (*entry, bool) {
 	key := spec.key()
-
 	s.mu.Lock()
 	e, hit := s.cache[key]
 	wasDone := hit && e.done
 	if !hit {
-		e = &entry{key: key, spec: spec}
+		e = &entry{key: key, spec: spec, priority: priority, ready: make(chan struct{})}
 		e.elem = s.order.PushFront(e)
 		s.cache[key] = e
 		s.evictLocked()
@@ -317,78 +370,158 @@ func (s *Server) structureFor(ctx context.Context, spec GenerateSpec) (*entry, b
 		s.order.MoveToFront(e.elem)
 	}
 	e.waiters.Add(1)
-	defer e.waiters.Add(-1)
 	s.mu.Unlock()
+	e.start.Do(func() { s.startWork(e) })
+	return e, wasDone
+}
 
-	e.once.Do(func() {
-		var st *mps.Structure
-		var stats mps.Stats
-		var err error
-		// Read-through: a structure persisted by an earlier process (or
-		// evicted from this one) is rehydrated from disk in milliseconds
-		// instead of regenerated in minutes. Load failures (corrupt file,
-		// missing entry) fall through to a fresh generation.
-		if st, stats, err = s.loadFromStore(spec); err == nil && st != nil {
-			s.publish(e, st, stats, nil)
-			return
+// startWork produces the entry's structure: a disk-store rehydration when
+// available (milliseconds, done inline so it never queues behind
+// annealing jobs), else a job submission to the scheduler. Exactly one of
+// the resulting paths — store hit, submit failure, the job's run, or the
+// job's abandon hook — calls publish, which closes e.ready.
+func (s *Server) startWork(e *entry) {
+	specJSON, err := json.Marshal(e.spec)
+	if err != nil { // cannot happen for a normalized spec; fail loudly if it does
+		s.publish(e, nil, mps.Stats{}, fmt.Errorf("encoding spec: %w", err))
+		return
+	}
+	// Read-through: a structure persisted by an earlier process (or
+	// evicted from this one) is rehydrated from disk in milliseconds
+	// instead of regenerated in minutes. Load failures (corrupt file,
+	// missing entry) fall through to a fresh generation. The job history
+	// still records the materialization (RecordDone), so /v1/jobs answers
+	// for warm keys too.
+	if st, stats, err := s.loadFromStore(e.spec); err == nil && st != nil {
+		if snap, err := s.sched.RecordDone(e.key, specJSON, jobs.Progress{
+			Placements: st.NumPlacements(),
+			Coverage:   stats.FinalCoverage,
+		}); err == nil {
+			s.setJobID(e, snap.ID)
 		}
-		st, stats, err = nil, mps.Stats{}, nil
-		// Queued-but-not-started work is droppable: if the requesting
-		// client disconnects while waiting for a generation slot and no
-		// other request shares this entry, fail it (it is removed below,
-		// so a later request retries). With other live waiters — they are
-		// blocked in once.Do and cannot abandon — keep waiting and finish
-		// the job for them. Once a slot is held the run always completes;
-		// finished work lands in the cache even if every client has gone.
+		s.publish(e, st, stats, nil)
+		return
+	}
+	// Run and Done execute sequentially on the same worker, so the result
+	// variables they share need no further synchronization. Publication
+	// happens in Done — after the scheduler has retired the key from its
+	// active set — so a request racing a failed entry's removal starts a
+	// fresh job instead of deduping onto the dead one.
+	var genSt *mps.Structure
+	var genStats mps.Stats
+	var genErr error
+	snap, _, err := s.sched.Submit(jobs.Request{
+		Key:      e.key,
+		Spec:     specJSON,
+		Priority: e.priority,
+		Run: func(ctx context.Context, report func(jobs.Progress)) error {
+			genSt, genStats, genErr = s.runGeneration(ctx, e.spec, report)
+			// Write-through: persist the finished structure off the job
+			// path. The annealing run took minutes; the disk write takes
+			// milliseconds and must never hold the worker (or a waiting
+			// client) hostage. The Add must precede publish (in Done):
+			// publish wakes waiters, and a woken client may immediately
+			// Flush. On error, nothing persists — a cancelled or failed
+			// run leaves no partial structure in the store, and publish
+			// drops the entry so none lingers in the cache either.
+			if genErr == nil && genSt != nil && s.cfg.Store != nil {
+				s.persistWG.Add(1)
+				go func() {
+					defer s.persistWG.Done()
+					s.persist(e.spec, genSt, genStats.FinalCoverage)
+				}()
+			}
+			return genErr
+		},
+		Done: func(jobs.Snapshot) {
+			s.publish(e, genSt, genStats, genErr)
+		},
+		Abandon: func(reason error) {
+			s.publish(e, nil, mps.Stats{}, fmt.Errorf("generation canceled while queued: %w: %w", reason, context.Canceled))
+		},
+	})
+	if err != nil {
+		s.publish(e, nil, mps.Stats{}, err)
+		return
+	}
+	s.setJobID(e, snap.ID)
+}
+
+// setJobID records the scheduler job backing the entry.
+func (s *Server) setJobID(e *entry, id string) {
+	s.mu.Lock()
+	e.jobID = id
+	s.mu.Unlock()
+}
+
+// runGeneration executes one full annealing run under the job's context,
+// translating generation progress into job progress. Panics become
+// errors so a misbehaving generator fails one entry, not the daemon.
+func (s *Server) runGeneration(ctx context.Context, spec GenerateSpec, report func(jobs.Progress)) (st *mps.Structure, stats mps.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = nil, fmt.Errorf("generation panic: %v", r)
+		}
+	}()
+	circuit, err := mps.Benchmark(spec.Circuit)
+	if err != nil {
+		return nil, mps.Stats{}, err
+	}
+	opts := spec.options()
+	if report != nil {
+		opts.Progress = func(p mps.Progress) {
+			report(jobs.Progress{
+				Chain:      p.Chain,
+				Iteration:  p.Iteration,
+				Placements: p.Placements,
+				Coverage:   p.Coverage,
+			})
+		}
+	}
+	s.genRuns.Add(1)
+	return mps.GenerateContext(ctx, circuit, opts)
+}
+
+// structureFor returns the cached structure for the spec, scheduling its
+// generation on first use and waiting for it. Concurrent callers for one
+// key share a single run. The returned bool reports a true cache hit —
+// the entry had already finished generating — not merely landing on an
+// in-flight entry and waiting for it.
+func (s *Server) structureFor(ctx context.Context, spec GenerateSpec) (*entry, bool, error) {
+	e, wasDone := s.ensure(spec, 0)
+	defer e.waiters.Add(-1)
+	select {
+	case <-e.ready:
+	default:
 		select {
-		case s.genSlots <- struct{}{}:
-			defer func() { <-s.genSlots }()
+		case <-e.ready:
 		case <-ctx.Done():
-			// The waiter check, the cancel publication, and the cache
-			// removal share the cache mutex with waiter registration, so a
-			// request that joined before this point is always counted, and
-			// one arriving after never finds the canceled entry.
+			// Queued-but-not-started work is droppable: if the requesting
+			// client disconnects while its job is still queued and no other
+			// request shares this entry, cancel the job and fail the entry
+			// ourselves, so a later request retries. The waiter check, the
+			// silent job cancellation (no submitter callbacks run inside
+			// it, so holding s.mu is safe — lock order is always s.mu →
+			// scheduler), and the cancel publication share one critical
+			// section with waiter registration: a request that joined
+			// before this point is always counted, and one arriving after
+			// never finds the canceled entry. With other live waiters, or
+			// once a worker holds the job, the run completes and lands in
+			// the cache even if every client has gone.
 			s.mu.Lock()
-			alone := e.waiters.Load() <= 1
-			if alone {
-				e.err, e.done = fmt.Errorf("generation canceled while queued: %w", ctx.Err()), true
+			if e.waiters.Load() <= 1 && e.jobID != "" && !e.done &&
+				s.sched.CancelQueuedSilent(e.jobID) {
+				e.err = fmt.Errorf("generation canceled while queued: %w", ctx.Err())
+				e.done = true
 				s.removeLocked(e)
+				s.mu.Unlock()
+				close(e.ready)
+				return nil, false, e.err
 			}
 			s.mu.Unlock()
-			if alone {
-				return
-			}
-			s.genSlots <- struct{}{}
-			defer func() { <-s.genSlots }()
+			<-e.ready
 		}
-		func() {
-			// A panicking generator must not poison the entry: record it
-			// as a failure so the entry is dropped and later requests
-			// retry instead of nil-dereferencing forever.
-			defer func() {
-				if r := recover(); r != nil {
-					st, err = nil, fmt.Errorf("generation panic: %v", r)
-				}
-			}()
-			var circuit *mps.Circuit
-			circuit, err = mps.Benchmark(spec.Circuit)
-			if err == nil {
-				s.genRuns.Add(1)
-				st, stats, err = mps.Generate(circuit, spec.options())
-			}
-		}()
-		s.publish(e, st, stats, err)
-		// Write-through: persist the finished structure off the request
-		// path. The annealing run took minutes; the disk write takes
-		// milliseconds and must never hold a client hostage.
-		if err == nil && st != nil && s.cfg.Store != nil {
-			s.persistWG.Add(1)
-			go func() {
-				defer s.persistWG.Done()
-				s.persist(spec, st, stats.FinalCoverage)
-			}()
-		}
-	})
+	}
 	if e.err != nil {
 		return nil, false, e.err
 	}
@@ -397,12 +530,12 @@ func (s *Server) structureFor(ctx context.Context, spec GenerateSpec) (*entry, b
 
 // publish records a finished (or failed) generation on its entry under
 // the cache lock, so handlers that find the entry in the cache (rather
-// than through once.Do) read a consistent result. Failed generations are
-// dropped in the same critical section so no request can observe a cached
-// entry carrying another client's error — later requests miss and retry
-// instead. Eviction re-runs because the entry was un-evictable while in
-// flight, so the cache may be over its bound with no future miss to
-// shrink it.
+// than by waiting on ready) read a consistent result, then releases the
+// waiters by closing ready. Failed generations are dropped in the same
+// critical section so no request can observe a cached entry carrying
+// another client's error — later requests miss and retry instead.
+// Eviction re-runs because the entry was un-evictable while in flight, so
+// the cache may be over its bound with no future miss to shrink it.
 func (s *Server) publish(e *entry, st *mps.Structure, stats mps.Stats, err error) {
 	var placements int
 	var coverage float64
@@ -414,6 +547,12 @@ func (s *Server) publish(e *entry, st *mps.Structure, stats mps.Stats, err error
 		coverage = stats.FinalCoverage
 	}
 	s.mu.Lock()
+	if e.done {
+		// Already published (the sole-waiter silent-cancel path marks the
+		// entry itself). Never double-publish — ready closes exactly once.
+		s.mu.Unlock()
+		return
+	}
 	e.s, e.stats, e.err, e.done = st, stats, err, true
 	e.placements, e.coverage = placements, coverage
 	if err != nil {
@@ -421,6 +560,7 @@ func (s *Server) publish(e *entry, st *mps.Structure, stats mps.Stats, err error
 	}
 	s.evictLocked()
 	s.mu.Unlock()
+	close(e.ready)
 }
 
 // loadFromStore rehydrates the structure for spec from the disk store.
@@ -516,14 +656,24 @@ func (s *Server) Warm(limit int) (int, error) {
 		if err != nil || st == nil {
 			continue // already logged and counted
 		}
-		e := &entry{key: meta.Key, spec: spec}
+		e := &entry{key: meta.Key, spec: spec, ready: make(chan struct{})}
 		e.s, e.stats, e.done = st, stats, true
 		e.placements = st.NumPlacements()
 		e.coverage = meta.Coverage
-		// Consume the entry's once before publication so a later
-		// structureFor treats it as finished; the field writes above
-		// happen-before any once.Do return.
-		e.once.Do(func() {})
+		// Consume the entry's start and close ready before publication so
+		// a later request treats it as finished; the field writes above
+		// happen-before any start.Do return or ready receive.
+		e.start.Do(func() {})
+		close(e.ready)
+		// Record the materialization in the job history so /v1/jobs
+		// answers for warm keys (idempotent across restarts when the
+		// scheduler persists state).
+		if snap, err := s.sched.RecordDone(meta.Key, []byte(meta.Options), jobs.Progress{
+			Placements: e.placements,
+			Coverage:   e.coverage,
+		}); err == nil {
+			e.jobID = snap.ID
+		}
 		s.mu.Lock()
 		if _, exists := s.cache[meta.Key]; !exists {
 			e.elem = s.order.PushBack(e) // List is newest-first, so the front stays newest
@@ -534,6 +684,34 @@ func (s *Server) Warm(limit int) (int, error) {
 		s.mu.Unlock()
 	}
 	return loaded, nil
+}
+
+// ResumeInterrupted resubmits generation jobs that a previous process
+// accepted but never finished (its scheduler loaded them from the state
+// file). Jobs whose structures meanwhile exist in the store complete
+// instantly through the read-through; the rest re-anneal. Returns how
+// many were resubmitted; malformed records are logged and skipped.
+func (s *Server) ResumeInterrupted() int {
+	resumed := 0
+	for _, snap := range s.sched.Interrupted() {
+		var spec GenerateSpec
+		if err := json.Unmarshal(snap.Spec, &spec); err != nil {
+			s.logf("resume %s: decoding spec: %v", snap.ID, err)
+			continue
+		}
+		if err := spec.normalize(); err != nil {
+			s.logf("resume %s: %v", snap.ID, err)
+			continue
+		}
+		if err := s.checkBudget(spec); err != nil {
+			s.logf("resume %s: %v", snap.ID, err)
+			continue
+		}
+		e, _ := s.ensure(spec, snap.Priority)
+		e.waiters.Add(-1) // fire and forget: nobody waits on a resumed job
+		resumed++
+	}
+	return resumed
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -572,11 +750,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/circuits", s.handleCircuits)
 	mux.HandleFunc("/v1/structures", s.handleStructures)
 	mux.HandleFunc("/v1/instantiate", s.handleInstantiate)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return mux
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": s.sched.Stats()})
 }
 
 // circuitInfo is one row of the /v1/circuits listing.
@@ -640,14 +822,16 @@ func (e clientError) Error() string { return e.err.Error() }
 func (e clientError) Unwrap() error { return e.err }
 
 // generateErrorStatus maps a generate/structureFor error to its HTTP
-// status: 400 for validation, 503 for requests shed while queued (so the
-// access log does not count shed load as server faults), 500 otherwise.
+// status: 400 for validation, 503 for requests shed while queued or
+// cancelled mid-run and for a shutting-down scheduler (so the access log
+// does not count shed load as server faults), 500 otherwise.
 func generateErrorStatus(err error) int {
 	var ce clientError
 	switch {
 	case errors.As(err, &ce):
 		return http.StatusBadRequest
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, jobs.ErrCancelled), errors.Is(err, jobs.ErrClosed):
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
@@ -746,6 +930,127 @@ func (s *Server) handleStructures(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 	}
+}
+
+// jobSubmitRequest is the POST /v1/jobs body: the generation spec plus an
+// optional queue priority (higher runs first, FIFO within a level).
+type jobSubmitRequest struct {
+	Spec     GenerateSpec `json:"spec"`
+	Priority int          `json:"priority,omitempty"`
+}
+
+// JobInfo is one job as reported by the /v1/jobs endpoints: the
+// scheduler's snapshot plus whether the produced structure currently sits
+// in the in-memory LRU (instantiate traffic against it is free).
+type JobInfo struct {
+	jobs.Snapshot
+	Cached bool `json:"cached"`
+}
+
+// jobInfo decorates a snapshot with the cache state of its key.
+func (s *Server) jobInfo(snap jobs.Snapshot) JobInfo {
+	s.mu.Lock()
+	e, ok := s.cache[snap.Key]
+	cached := ok && e.done && e.err == nil
+	s.mu.Unlock()
+	return JobInfo{Snapshot: snap, Cached: cached}
+}
+
+// handleJobSubmit is POST /v1/jobs: validate the spec, submit it to the
+// scheduler (deduplicating onto in-flight work for the same canonical
+// key), and return the job immediately — 202 while queued or running, 200
+// when the structure already existed (memory or disk) and the job was
+// born done.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobSubmitRequest
+	if err := decodeJSON(w, r, &req, 4096); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec := req.Spec
+	if err := spec.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.checkBudget(spec); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	e, _ := s.ensure(spec, req.Priority)
+	defer e.waiters.Add(-1)
+	s.mu.Lock()
+	id := e.jobID
+	s.mu.Unlock()
+	snap, ok := s.sched.Get(id)
+	if !ok {
+		// No job backs the entry: its submission failed (scheduler closed)
+		// or the record was pruned. ready is closed on the failure path,
+		// so this read does not block on a healthy server.
+		select {
+		case <-e.ready:
+			if e.err != nil {
+				writeError(w, generateErrorStatus(e.err), e.err.Error())
+				return
+			}
+			writeError(w, http.StatusInternalServerError,
+				fmt.Sprintf("job record for %s no longer retained", e.key))
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, "canceled")
+		}
+		return
+	}
+	status := http.StatusAccepted
+	if snap.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.jobInfo(snap))
+}
+
+// handleJobList is GET /v1/jobs: every known job, newest first, plus
+// scheduler queue counts.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	list := s.sched.List()
+	out := make([]JobInfo, len(list))
+	for i, snap := range list {
+		out[i] = s.jobInfo(snap)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":  out,
+		"stats": s.sched.Stats(),
+	})
+}
+
+// handleJobGet is GET /v1/jobs/{id}: one job's live snapshot — while the
+// generation runs, Progress advances with every explorer iteration.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobInfo(snap))
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: cooperative cancellation. A
+// queued job never runs; a running job's context ends and the nested
+// annealers stop within one proposal — the handler waits briefly so the
+// response usually carries the terminal state. Cancelling a finished job
+// is a no-op returning its snapshot.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.sched.Cancel(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if !snap.State.Terminal() {
+		ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+		defer cancel()
+		if final, err := s.sched.Wait(ctx, id); err == nil {
+			snap = final
+		}
+	}
+	writeJSON(w, http.StatusOK, s.jobInfo(snap))
 }
 
 // instantiateRequest is a batched query: address a structure by cache key

@@ -48,6 +48,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 
@@ -66,7 +67,7 @@ func postJSON(t *testing.T, url string, body any, out any) (int, string) {
 	if _, err := raw.ReadFrom(resp.Body); err != nil {
 		t.Fatal(err)
 	}
-	if out != nil && resp.StatusCode == http.StatusOK {
+	if out != nil && resp.StatusCode < 300 {
 		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
 			t.Fatalf("decode %s: %v\nbody: %s", url, err, raw.String())
 		}
@@ -270,6 +271,7 @@ func TestBodySizeLimit(t *testing.T) {
 // just iterations.
 func TestBudgetCaps(t *testing.T) {
 	s := New(Config{MaxGenerateIterations: 100})
+	t.Cleanup(s.Close)
 	for _, bad := range []GenerateSpec{
 		{Circuit: "circ01", Iterations: 101},
 		{Circuit: "circ01", BDIOSteps: 101},
@@ -281,6 +283,7 @@ func TestBudgetCaps(t *testing.T) {
 	}
 	// Negative cap disables the iteration/bdio bounds but not the chains one.
 	s = New(Config{MaxGenerateIterations: -1})
+	t.Cleanup(s.Close)
 	if err := s.checkBudget(GenerateSpec{Circuit: "circ01", Iterations: 1 << 30}); err != nil {
 		t.Errorf("disabled cap still rejected iterations: %v", err)
 	}
@@ -324,6 +327,7 @@ func TestConcurrentGenerateAndList(t *testing.T) {
 // requests shares one annealing run.
 func TestGenerationDedup(t *testing.T) {
 	s := New(Config{})
+	t.Cleanup(s.Close)
 	const clients = 8
 	var wg sync.WaitGroup
 	infos := make([]StructureInfo, clients)
@@ -352,6 +356,7 @@ func TestGenerationDedup(t *testing.T) {
 // TestLRUEviction checks the cache bound holds and evicts oldest first.
 func TestLRUEviction(t *testing.T) {
 	s := New(Config{CacheSize: 2})
+	t.Cleanup(s.Close)
 	keys := make([]string, 3)
 	for i := range keys {
 		info, err := s.Generate(testSpec(int64(10 + i)))
@@ -434,6 +439,7 @@ func TestStoreWarmRestart(t *testing.T) {
 
 	// First server: generate and persist.
 	s1 := New(Config{Store: openStore(t, dir), Logf: t.Logf})
+	t.Cleanup(s1.Close)
 	info, err := s1.Generate(testSpec(1))
 	if err != nil {
 		t.Fatal(err)
@@ -486,12 +492,14 @@ func TestStoreWarmRestart(t *testing.T) {
 func TestStoreReadThrough(t *testing.T) {
 	dir := t.TempDir()
 	s1 := New(Config{Store: openStore(t, dir)})
+	t.Cleanup(s1.Close)
 	if _, err := s1.Generate(testSpec(5)); err != nil {
 		t.Fatal(err)
 	}
 	s1.Flush()
 
 	s2 := New(Config{Store: openStore(t, dir)})
+	t.Cleanup(s2.Close)
 	t.Cleanup(s2.Flush) // the fresh-spec generation below persists in the background
 	info, err := s2.Generate(testSpec(5))
 	if err != nil {
@@ -518,6 +526,7 @@ func TestStoreCorruptFallsBack(t *testing.T) {
 	dir := t.TempDir()
 	st := openStore(t, dir)
 	s1 := New(Config{Store: st})
+	t.Cleanup(s1.Close)
 	if _, err := s1.Generate(testSpec(9)); err != nil {
 		t.Fatal(err)
 	}
@@ -535,6 +544,7 @@ func TestStoreCorruptFallsBack(t *testing.T) {
 	corruptFile(t, dir, meta.File)
 
 	s2 := New(Config{Store: openStore(t, dir)})
+	t.Cleanup(s2.Close)
 	t.Cleanup(s2.Flush) // the fallback generation re-persists in the background
 	info, err := s2.Generate(testSpec(9))
 	if err != nil {
@@ -553,6 +563,7 @@ func TestStoreCorruptFallsBack(t *testing.T) {
 func TestStorePersistedListing(t *testing.T) {
 	dir := t.TempDir()
 	s1 := New(Config{Store: openStore(t, dir)})
+	t.Cleanup(s1.Close)
 	if _, err := s1.Generate(testSpec(3)); err != nil {
 		t.Fatal(err)
 	}

@@ -183,9 +183,9 @@ func (t *Template) size(n *Node, ws, hs []int) (w, h int) {
 	lw, lh := t.size(n.Left, ws, hs)
 	rw, rh := t.size(n.Right, ws, hs)
 	if n.Cut == CutV {
-		return lw + t.Gap + rw, maxInt(lh, rh)
+		return lw + t.Gap + rw, max(lh, rh)
 	}
-	return maxInt(lw, rw), lh + t.Gap + rh
+	return max(lw, rw), lh + t.Gap + rh
 }
 
 // assign positions the subtree with its bounding box anchored at (x0, y0).
@@ -212,11 +212,4 @@ func (t *Template) assign(n *Node, x0, y0 int, ws, hs, x, y []int) {
 // given block dimensions.
 func (t *Template) BoundingDims(ws, hs []int) (w, h int) {
 	return t.size(t.root, ws, hs)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -20,6 +20,7 @@
 package mps
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -49,6 +50,11 @@ type Result = core.Result
 // Stats re-exports generation statistics.
 type Stats = explorer.Stats
 
+// Progress re-exports the per-iteration generation progress snapshot
+// delivered to Options.Progress (chain, iteration, stored placements,
+// exact coverage so far).
+type Progress = explorer.Progress
+
 // Options tunes Generate. The zero value is a balanced default; Effort
 // presets scale the annealing budgets.
 type Options struct {
@@ -74,8 +80,9 @@ type Options struct {
 	TargetCoverage float64
 	// Backup selects the instantiator for uncovered dimension regions.
 	Backup BackupKind
-	// Progress observes generation (chain, iteration, structure size).
-	Progress func(chain, iter, numPlacements int)
+	// Progress observes generation, once per explorer iteration. Called
+	// under the structure lock; keep it fast.
+	Progress func(Progress)
 }
 
 // BackupKind selects the uncovered-space fallback installed by Generate.
@@ -145,8 +152,17 @@ func BenchmarkNames() []string { return circuits.Names() }
 // one-time offline step of Fig. 1a — and installs a balanced slicing-tree
 // template as the uncovered-space backup.
 func Generate(c *Circuit, opts Options) (*Structure, Stats, error) {
+	return GenerateContext(context.Background(), c, opts)
+}
+
+// GenerateContext is Generate with cooperative cancellation. Generation is
+// minutes- to hours-scale work; the context lets a caller (a job scheduler,
+// a shutting-down daemon) stop the nested annealers within one inner-SA
+// proposal. On cancellation the error satisfies errors.Is(err,
+// context.Canceled) (or DeadlineExceeded) and no structure is returned.
+func GenerateContext(ctx context.Context, c *Circuit, opts Options) (*Structure, Stats, error) {
 	iters, bdioSteps := opts.Budgets()
-	s, stats, err := explorer.Generate(c, explorer.Config{
+	s, stats, err := explorer.GenerateContext(ctx, c, explorer.Config{
 		Seed:           opts.Seed,
 		MaxIterations:  iters,
 		MaxPlacements:  opts.MaxPlacements,
