@@ -1,12 +1,13 @@
 package mps
 
-// This file implements the concurrent batched query engine over
-// Structure.Instantiate — the serving hot path of the paper's Fig. 1b.
+// This file implements the concurrent batched query engine over the
+// compiled query index — the serving hot path of the paper's Fig. 1b.
 // Inside a sizing loop (or behind cmd/mpsd) queries arrive in batches;
 // fanning them across a bounded worker pool turns the structure's
 // near-constant per-query time into near-linear multicore throughput.
-// The underlying core.Structure is safe for concurrent readers (its query
-// scratch is pooled), so workers share the structure directly with no
+// Batches query the flat CompiledStructure (compiled lazily on first
+// batch, cached thereafter), which is safe for concurrent readers (its
+// query scratch is pooled), so workers share the index directly with no
 // locking on the hot path.
 
 import (
@@ -53,6 +54,7 @@ func (s *Structure) InstantiateBatch(queries []DimQuery) []BatchResult {
 // the bound caps fan-out, it does not force it.
 func (s *Structure) InstantiateBatchWorkers(queries []DimQuery, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
+	cs := s.Compiled()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -60,7 +62,7 @@ func (s *Structure) InstantiateBatchWorkers(queries []DimQuery, workers int) []B
 		workers = max
 	}
 	if workers <= 1 || len(queries) < serialBatchThreshold {
-		s.instantiateRange(queries, out, 0, len(queries))
+		instantiateRange(cs, queries, out, 0, len(queries))
 		return out
 	}
 
@@ -79,7 +81,7 @@ func (s *Structure) InstantiateBatchWorkers(queries []DimQuery, workers int) []B
 				if end > len(queries) {
 					end = len(queries)
 				}
-				s.instantiateRange(queries, out, start, end)
+				instantiateRange(cs, queries, out, start, end)
 			}
 		}()
 	}
@@ -87,10 +89,11 @@ func (s *Structure) InstantiateBatchWorkers(queries []DimQuery, workers int) []B
 	return out
 }
 
-// instantiateRange answers queries[start:end] into out[start:end].
-func (s *Structure) instantiateRange(queries []DimQuery, out []BatchResult, start, end int) {
+// instantiateRange answers queries[start:end] into out[start:end] from the
+// compiled index.
+func instantiateRange(cs *CompiledStructure, queries []DimQuery, out []BatchResult, start, end int) {
 	for i := start; i < end; i++ {
-		res, err := s.Instantiate(queries[i].Ws, queries[i].Hs)
+		res, err := cs.Instantiate(queries[i].Ws, queries[i].Hs)
 		out[i] = BatchResult{Result: res, Err: err}
 	}
 }

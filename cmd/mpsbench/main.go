@@ -8,9 +8,16 @@
 //	mpsbench -table1 -table2
 //	mpsbench -fig5 -fig6 -fig7 -out results/
 //	mpsbench -saveload              # on-disk codec comparison (gob v1 vs binary v2)
+//	mpsbench -queryperf             # tree vs compiled query-path comparison
 //	mpsbench -micro [-json]         # serving-stack micro-benchmarks; -json also
 //	                                # writes machine-readable BENCH_results.json
 //	                                # (op names, ns/op, bytes/op) for CI archiving
+//	mpsbench -json -compare BENCH_baseline.json [-tolerance 0.30]
+//	                                # CI perf-regression gate: run the micro
+//	                                # benchmarks, write the results, and exit 1
+//	                                # when any op allocates more than the
+//	                                # baseline (exact) or is slower beyond the
+//	                                # tolerance
 package main
 
 import (
@@ -37,22 +44,25 @@ func main() {
 	scaling := flag.Bool("scaling", false, "run the block-count scaling study (extension)")
 	synthCmp := flag.Bool("synth", false, "run the Fig. 1b synthesis-loop provider comparison (extension)")
 	saveload := flag.Bool("saveload", false, "benchmark the on-disk codecs: gob v1 vs binary v2 per circuit (extension)")
+	queryperf := flag.Bool("queryperf", false, "compare the tree and compiled query paths per circuit (ns/op, allocs/op)")
 	micro := flag.Bool("micro", false, "run the serving-stack micro-benchmarks (generate, instantiate, codecs)")
 	jsonOut := flag.Bool("json", false, "write micro-benchmark results to BENCH_results.json (implies -micro; lands in -out when set)")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to gate the micro-benchmarks against (implies -micro); exit 1 on regression")
+	tolerance := flag.Float64("tolerance", experiments.DefaultNsTolerance, "fractional ns/op growth allowed by -compare (allocs/op are gated exactly)")
 	all := flag.Bool("all", false, "reproduce everything")
 	effortFlag := flag.String("effort", "standard", "generation budget: quick, standard, full")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "", "directory for figure files (optional)")
 	flag.Parse()
 
-	if *jsonOut {
+	if *jsonOut || *compare != "" {
 		*micro = true
 	}
 	if *all {
 		*table1, *table2, *fig5, *fig6, *fig7 = true, true, true, true, true
-		*scaling, *synthCmp, *saveload, *micro = true, true, true, true
+		*scaling, *synthCmp, *saveload, *micro, *queryperf = true, true, true, true, true
 	}
-	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload || *micro) {
+	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload || *micro || *queryperf) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -158,6 +168,12 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *queryperf {
+		if _, err := experiments.RunQueryPerf(os.Stdout, effort, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
 	if *micro {
 		results, err := experiments.RunMicro(os.Stdout, *seed)
 		if err != nil {
@@ -174,6 +190,27 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote %s\n", path)
+		}
+		if *compare != "" {
+			baseline, err := experiments.ReadBenchJSON(*compare)
+			if err != nil {
+				log.Fatal(err)
+			}
+			deltas, regressed := experiments.CompareBench(baseline.Results, results, *tolerance)
+			fmt.Printf("Regression gate vs %s (ns/op tolerance %.0f%%, allocs exact)\n",
+				*compare, *tolerance*100)
+			experiments.RenderBenchDeltas(os.Stdout, deltas)
+			// Same-run ratio gates are machine-independent: they hold the
+			// compiled-vs-tree speedup even when the runner's absolute
+			// speed has drifted from the baseline machine's.
+			ratioFailures := experiments.CheckRatioGates(results, experiments.DefaultRatioGates)
+			for _, f := range ratioFailures {
+				fmt.Println("ratio gate failed:", f)
+			}
+			if regressed || len(ratioFailures) > 0 {
+				log.Fatal("performance regression detected (see above)")
+			}
+			fmt.Println("no regressions")
 		}
 	}
 }

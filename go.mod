@@ -1,3 +1,3 @@
 module mps
 
-go 1.24
+go 1.22

@@ -33,10 +33,14 @@ import (
 // walk.
 
 const (
-	// binaryMagic introduces a v2 file; Load sniffs it to pick the codec.
+	// binaryMagic introduces a v2/v3 file; Load sniffs it to pick the codec.
 	binaryMagic = "MPSB"
 	// binaryVersion is written after the magic and checked on load.
 	binaryVersion = 2
+	// binaryVersionCompiled marks a file that additionally carries the
+	// compiled query index's row tables after the placement records (see
+	// SaveBinaryCompiled); the placement section is byte-identical to v2.
+	binaryVersionCompiled = 3
 	// crcLen is the size of the trailing CRC-32C.
 	crcLen = 4
 	// maxIntervalLen bounds a decoded interval delta; anything larger is
@@ -56,15 +60,36 @@ func (s *Structure) SaveBinary(w io.Writer) error {
 	return nil
 }
 
-// appendCRC seals a v2 payload with its trailing checksum.
+// SaveBinaryCompiled writes the structure in the v3 binary format: the v2
+// placement payload plus the compiled query index's row tables, so a
+// loader gets the flat index for free instead of flattening the rows
+// itself — the daemon's store uses this so a warm start never compiles on
+// the request path. Compiling here is free when the structure was already
+// queried (Compile caches).
+func (s *Structure) SaveBinaryCompiled(w io.Writer) error {
+	b := s.appendBinaryVersion(nil, binaryVersionCompiled)
+	b = Compile(s).appendTables(b)
+	if _, err := w.Write(appendCRC(b)); err != nil {
+		return fmt.Errorf("core: writing structure: %w", err)
+	}
+	return nil
+}
+
+// appendCRC seals a v2/v3 payload with its trailing checksum.
 func appendCRC(payload []byte) []byte {
 	return binary.LittleEndian.AppendUint32(payload, crc32.Checksum(payload, castagnoli))
 }
 
 // appendBinary appends the v2 payload (everything but the CRC) to b.
 func (s *Structure) appendBinary(b []byte) []byte {
+	return s.appendBinaryVersion(b, binaryVersion)
+}
+
+// appendBinaryVersion appends the placement payload under the given format
+// version; v3 callers append the compiled tables afterwards.
+func (s *Structure) appendBinaryVersion(b []byte, version uint64) []byte {
 	b = append(b, binaryMagic...)
-	b = binary.AppendUvarint(b, binaryVersion)
+	b = binary.AppendUvarint(b, version)
 	b = binary.AppendUvarint(b, uint64(len(s.circuit.Name)))
 	b = append(b, s.circuit.Name...)
 	for _, v := range [4]int{s.fp.X0, s.fp.Y0, s.fp.X1, s.fp.Y1} {
@@ -109,21 +134,165 @@ func appendOptionalInts(b []byte, vs []int) []byte {
 	return appendInts(append(b, 1), vs)
 }
 
-// decodeBinary parses a complete v2 file (magic through CRC) into the
-// shared fileFormat. The checksum is verified first, so every later decode
-// error indicates a bug or a forged length field rather than line noise.
-func decodeBinary(data []byte) (*fileFormat, error) {
+// compiledTables is the decoded v3 compiled section: the flat row tables
+// of a CompiledStructure, expressed in the saved (dense, hole-free) ID
+// space. The anchor tables are not serialized — they are rebuilt from the
+// placement records in O(P·N) on attach.
+type compiledTables struct {
+	rowStart, spanLo, spanHi, idOff, ids []int32
+}
+
+// appendTables appends the compiled section of a v3 file: span counts per
+// row, breakpoints, id counts per span, then the id (slot) values, all
+// varint-packed. The on-disk form is id *lists* (stable and
+// word-size-independent), materialized from the in-memory bitsets; dense
+// slots are exactly the IDs placements get when the file is loaded back.
+func (cs *CompiledStructure) appendTables(b []byte) []byte {
+	counts := make([]int, len(cs.spanLo))
+	var all []int32
+	for s := range cs.spanLo {
+		before := len(all)
+		all = cs.spanSlots(s, all)
+		counts[s] = len(all) - before
+	}
+	b = binary.AppendUvarint(b, uint64(len(cs.spanLo)))
+	b = binary.AppendUvarint(b, uint64(len(all)))
+	for r := 0; r+1 < len(cs.rowStart); r++ {
+		b = binary.AppendUvarint(b, uint64(cs.rowStart[r+1]-cs.rowStart[r]))
+	}
+	for s := range cs.spanLo {
+		b = binary.AppendVarint(b, int64(cs.spanLo[s]))
+		b = binary.AppendUvarint(b, uint64(cs.spanHi[s]-cs.spanLo[s]))
+	}
+	for _, c := range counts {
+		b = binary.AppendUvarint(b, uint64(c))
+	}
+	for _, slot := range all {
+		b = binary.AppendUvarint(b, uint64(slot))
+	}
+	return b
+}
+
+// decodeCompiledTables parses the v3 compiled section for n blocks and
+// count placements. It enforces only the bounds needed to build the
+// arrays safely (sizes against remaining payload, slots < count); semantic
+// agreement with the placement records is the attach step's cross-check.
+func decodeCompiledTables(r *binReader, n, count int) (*compiledTables, error) {
+	spans := int(r.uvarint("span count"))
+	idTotal := int(r.uvarint("id count"))
+	if r.err != nil {
+		return nil, r.err
+	}
+	rest := len(r.data) - r.off
+	if spans < 0 || idTotal < 0 || spans > rest || idTotal > rest {
+		return nil, fmt.Errorf("core: v3 compiled section claims %d spans/%d ids, only %d payload bytes",
+			spans, idTotal, rest)
+	}
+	ct := &compiledTables{
+		rowStart: make([]int32, 2*n+1),
+		spanLo:   make([]int32, spans),
+		spanHi:   make([]int32, spans),
+		idOff:    make([]int32, spans+1),
+		ids:      make([]int32, idTotal),
+	}
+	total := 0
+	for row := 0; row < 2*n; row++ {
+		c := int(r.uvarint("row span count"))
+		total += c
+		if r.err != nil || c < 0 || total > spans {
+			r.fail("row span count")
+			return nil, r.err
+		}
+		ct.rowStart[row+1] = ct.rowStart[row] + int32(c)
+	}
+	if r.err == nil && total != spans {
+		return nil, fmt.Errorf("core: v3 row span counts sum to %d, header says %d", total, spans)
+	}
+	for s := 0; s < spans; s++ {
+		lo := r.varint("span breakpoint")
+		d := r.uvarint("span breakpoint")
+		if d > maxIntervalLen {
+			r.fail("span breakpoint delta")
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		ct.spanLo[s], ct.spanHi[s] = int32(lo), int32(lo+int(d))
+	}
+	total = 0
+	for s := 0; s < spans; s++ {
+		c := int(r.uvarint("span id count"))
+		total += c
+		if r.err != nil || c < 0 || total > idTotal {
+			r.fail("span id count")
+			return nil, r.err
+		}
+		ct.idOff[s+1] = ct.idOff[s] + int32(c)
+	}
+	if r.err == nil && total != idTotal {
+		return nil, fmt.Errorf("core: v3 span id counts sum to %d, header says %d", total, idTotal)
+	}
+	for k := 0; k < idTotal; k++ {
+		slot := r.uvarint("placement slot")
+		if r.err != nil {
+			return nil, r.err
+		}
+		if slot >= uint64(count) {
+			return nil, fmt.Errorf("core: v3 compiled section references placement slot %d of %d", slot, count)
+		}
+		ct.ids[k] = int32(slot)
+	}
+	return ct, nil
+}
+
+// attachCompiled rebuilds a CompiledStructure from decoded tables plus the
+// freshly built (dense-ID) structure and installs it as s's cached index.
+// The tables are cross-checked against the interval rows buildStructure
+// just reconstructed — an O(S) walk — so a file whose compiled section
+// disagrees with its own placements is rejected rather than answering
+// compiled queries differently from tree queries.
+func attachCompiled(s *Structure, ct *compiledTables) error {
+	cs := newCompiledShell(s)
+	cs.rowStart = ct.rowStart
+	cs.spanLo, cs.spanHi = ct.spanLo, ct.spanHi
+	cs.masks = make([]uint64, len(ct.spanLo)*cs.words)
+	for span := range ct.spanLo {
+		off := span * cs.words
+		for k := ct.idOff[span]; k < ct.idOff[span+1]; k++ {
+			slot := ct.ids[k] // decode bounds-checked: 0 <= slot < count
+			cs.masks[off+int(slot>>6)] |= 1 << (slot & 63)
+		}
+	}
+	for id, p := range s.placements {
+		if p == nil { // cannot happen on a just-loaded structure
+			return fmt.Errorf("core: attaching compiled tables to a structure with holes")
+		}
+		cs.appendPlacement(id, p)
+	}
+	if !cs.matchesRows(s) {
+		return fmt.Errorf("core: v3 compiled tables disagree with the placement records (corrupt save)")
+	}
+	s.compiled.Store(cs)
+	return nil
+}
+
+// decodeBinary parses a complete v2/v3 file (magic through CRC) into the
+// shared fileFormat, plus the compiled tables when the file carries them
+// (v3). The checksum is verified first, so every later decode error
+// indicates a bug or a forged length field rather than line noise.
+func decodeBinary(data []byte) (*fileFormat, *compiledTables, error) {
 	if len(data) < len(binaryMagic)+1+crcLen {
-		return nil, fmt.Errorf("core: v2 file truncated (%d bytes)", len(data))
+		return nil, nil, fmt.Errorf("core: v2 file truncated (%d bytes)", len(data))
 	}
 	payload := data[:len(data)-crcLen]
 	want := binary.LittleEndian.Uint32(data[len(data)-crcLen:])
 	if got := crc32.Checksum(payload, castagnoli); got != want {
-		return nil, fmt.Errorf("core: v2 checksum mismatch (file truncated or corrupt)")
+		return nil, nil, fmt.Errorf("core: v2 checksum mismatch (file truncated or corrupt)")
 	}
 	r := &binReader{data: payload, off: len(binaryMagic)} // magic already matched by the sniffer
-	if v := r.uvarint("version"); r.err == nil && v != binaryVersion {
-		return nil, fmt.Errorf("core: unsupported binary format version %d", v)
+	version := r.uvarint("version")
+	if r.err == nil && version != binaryVersion && version != binaryVersionCompiled {
+		return nil, nil, fmt.Errorf("core: unsupported binary format version %d", version)
 	}
 	ff := &fileFormat{Version: formatVersion}
 	ff.CircuitName = string(r.bytes(int(r.uvarint("name length")), "circuit name"))
@@ -134,7 +303,7 @@ func decodeBinary(data []byte) (*fileFormat, error) {
 	n := int(r.uvarint("block count"))
 	count := int(r.uvarint("placement count"))
 	if r.err != nil {
-		return nil, r.err
+		return nil, nil, r.err
 	}
 	// A placement record is at least 6 varints per block plus two floats
 	// and two presence bytes; reject forged counts before allocating. The
@@ -143,7 +312,7 @@ func decodeBinary(data []byte) (*fileFormat, error) {
 	rest := len(payload) - r.off
 	if n < 0 || n > rest || count < 0 || count > rest ||
 		(count > 0 && uint64(count) > uint64(rest)/(6*uint64(n)+18)) {
-		return nil, fmt.Errorf("core: v2 header claims %d placements of %d blocks, only %d payload bytes",
+		return nil, nil, fmt.Errorf("core: v2 header claims %d placements of %d blocks, only %d payload bytes",
 			count, n, rest)
 	}
 	ff.Placements = make([]savedPlacement, count)
@@ -158,13 +327,23 @@ func decodeBinary(data []byte) (*fileFormat, error) {
 		sp.BestW = r.optionalInts(n, "best widths")
 		sp.BestH = r.optionalInts(n, "best heights")
 		if r.err != nil {
-			return nil, fmt.Errorf("core: placement %d: %w", j, r.err)
+			return nil, nil, fmt.Errorf("core: placement %d: %w", j, r.err)
+		}
+	}
+	var ct *compiledTables
+	if version == binaryVersionCompiled {
+		var err error
+		if ct, err = decodeCompiledTables(r, n, count); err != nil {
+			return nil, nil, err
+		}
+		if r.err != nil {
+			return nil, nil, r.err
 		}
 	}
 	if r.off != len(payload) {
-		return nil, fmt.Errorf("core: %d trailing bytes after v2 payload", len(payload)-r.off)
+		return nil, nil, fmt.Errorf("core: %d trailing bytes after v2 payload", len(payload)-r.off)
 	}
-	return ff, nil
+	return ff, ct, nil
 }
 
 // binReader decodes the v2 payload sequentially. Methods become no-ops

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"mps/internal/geom"
+	"mps/internal/netlist"
+	"mps/internal/placement"
+)
+
+// This file implements the compiled query index: a flattened, read-only
+// form of a Structure built once after generation (or loading) and queried
+// forever after. The tree path answers a query by walking 2N pointer-rich
+// interval lists and merge-intersecting their sorted id arrays; the
+// compiled path binary-searches 2N sorted []int32 breakpoint arrays laid
+// out back to back and intersects placement *bitsets* — one ⌈P/64⌉-word
+// mask per interval — so a query is a handful of contiguous cache lines,
+// branch-predictable compares and word-wide ANDs, with zero allocations.
+//
+// Memory layout (structure of arrays):
+//
+//	rowStart [2N+1]  row r's spans live at span indices
+//	                 [rowStart[r], rowStart[r+1])
+//	spanLo   [S]     per-span inclusive lower breakpoint, ascending per row
+//	spanHi   [S]     per-span inclusive upper breakpoint
+//	masks    [S*W]   per-span placement bitset, W = ⌈P/64⌉ words; bit b of
+//	                 span s is masks[s*W + b/64]>>(b%64): placement slot b
+//	                 is valid on span s
+//	slotID   [P]     slot -> original placement ID
+//	xs, ys   [P*N]   block anchors by slot (slot*N + block)
+//
+// Rows interleave width and height per block — row 2i is block i's width
+// row, row 2i+1 its height row — matching the order the intersection loop
+// visits them. Placement IDs are re-indexed to dense slots so the bitsets
+// and anchor tables stay hole-free when placements were deleted during
+// generation; results are mapped back to original IDs on the way out, so
+// compiled answers are indistinguishable from tree answers.
+
+// CompiledStructure is the flat form of a Structure. Build one with
+// Compile; it shares the source structure's circuit, designer-bound
+// validation and backup, and answers Lookup/Query/Instantiate with results
+// semantically identical to the tree path. Like the tree path it is safe
+// for any number of concurrent readers (each query intersects into a
+// stack-resident or pooled mask); it must only be built after generation
+// has finished.
+type CompiledStructure struct {
+	// src supplies the circuit (dimension validation) and the backup
+	// fallback; the flat tables below answer every covered query without
+	// touching it.
+	src *Structure
+
+	n     int // blocks
+	count int // live placements (dense slots 0..count-1)
+	words int // mask words per span, ⌈count/64⌉
+
+	rowStart []int32
+	spanLo   []int32
+	spanHi   []int32
+	masks    []uint64
+
+	slotID []int32
+	xs, ys []int32
+
+	// scratch pools oversized intersection masks (*[]uint64) for
+	// structures beyond maxStackWords×64 placements; smaller ones — every
+	// benchmark circuit — intersect on the caller's stack.
+	scratch sync.Pool
+}
+
+// maxStackWords is the intersection-mask size (in 64-bit words) kept on
+// the stack: structures up to 1024 placements — an order of magnitude
+// above the paper's largest — never touch the pool.
+const maxStackWords = 16
+
+// Compile flattens the structure's 2N interval rows into a
+// CompiledStructure. The result is cached on the structure — repeated
+// calls return the same index until a mutation (Insert, Compact)
+// invalidates it — so callers can treat Compile as cheap after the first
+// call. Compile panics if any breakpoint or anchor exceeds the int32
+// range; every benchmark circuit and every structure accepted by Load is
+// orders of magnitude below it.
+func Compile(s *Structure) *CompiledStructure {
+	if cs := s.compiled.Load(); cs != nil {
+		return cs
+	}
+	cs := compile(s)
+	s.compiled.Store(cs)
+	return cs
+}
+
+// compile builds the flat tables. It walks every row twice (sizing, then
+// filling), so its cost is linear in the total span and id counts.
+func compile(s *Structure) *CompiledStructure {
+	n := s.circuit.N()
+	cs := newCompiledShell(s)
+
+	spans := 0
+	for i := 0; i < n; i++ {
+		spans += s.wRows[i].Len() + s.hRows[i].Len()
+	}
+	cs.rowStart = make([]int32, 0, 2*n+1)
+	cs.spanLo = make([]int32, 0, spans)
+	cs.spanHi = make([]int32, 0, spans)
+	cs.masks = make([]uint64, 0, spans*cs.words)
+
+	// Dense re-index: slot order follows ID order, so bit order matches
+	// the tree's ascending id arrays.
+	idToSlot := make([]int32, len(s.placements))
+	for id, p := range s.placements {
+		if p == nil {
+			idToSlot[id] = -1
+			continue
+		}
+		idToSlot[id] = int32(len(cs.slotID))
+		cs.appendPlacement(id, p)
+	}
+
+	flatten := func(iv geom.Interval, rowIDs []int) {
+		cs.spanLo = append(cs.spanLo, toI32(iv.Lo, "interval breakpoint"))
+		cs.spanHi = append(cs.spanHi, toI32(iv.Hi, "interval breakpoint"))
+		off := len(cs.masks)
+		cs.masks = append(cs.masks, make([]uint64, cs.words)...)
+		for _, id := range rowIDs {
+			slot := idToSlot[id]
+			cs.masks[off+int(slot>>6)] |= 1 << (slot & 63)
+		}
+	}
+	for i := 0; i < n; i++ {
+		cs.rowStart = append(cs.rowStart, int32(len(cs.spanLo)))
+		s.wRows[i].Visit(flatten)
+		cs.rowStart = append(cs.rowStart, int32(len(cs.spanLo)))
+		s.hRows[i].Visit(flatten)
+	}
+	cs.rowStart = append(cs.rowStart, int32(len(cs.spanLo)))
+	return cs
+}
+
+// newCompiledShell sets up the placement-level fields shared by compile
+// and the v3 attach path.
+func newCompiledShell(s *Structure) *CompiledStructure {
+	n := s.circuit.N()
+	return &CompiledStructure{
+		src: s, n: n, count: s.alive,
+		words:  (s.alive + 63) / 64,
+		slotID: make([]int32, 0, s.alive),
+		xs:     make([]int32, 0, s.alive*n),
+		ys:     make([]int32, 0, s.alive*n),
+	}
+}
+
+// appendPlacement records one live placement's identity and anchors under
+// the next dense slot.
+func (cs *CompiledStructure) appendPlacement(id int, p *placement.Placement) {
+	cs.slotID = append(cs.slotID, toI32(id, "placement id"))
+	for i := 0; i < cs.n; i++ {
+		cs.xs = append(cs.xs, toI32(p.X[i], "block x anchor"))
+		cs.ys = append(cs.ys, toI32(p.Y[i], "block y anchor"))
+	}
+}
+
+// toI32 narrows a table value, panicking on the (never-seen-in-practice)
+// overflow rather than silently answering queries from truncated tables.
+func toI32(v int, what string) int32 {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		panic(fmt.Sprintf("core: %s %d exceeds the compiled int32 range", what, v))
+	}
+	return int32(v)
+}
+
+// Circuit returns the topology the compiled index answers for.
+func (cs *CompiledStructure) Circuit() *netlist.Circuit { return cs.src.circuit }
+
+// Floorplan returns the floorplan the placements live on.
+func (cs *CompiledStructure) Floorplan() geom.Rect { return cs.src.fp }
+
+// NumPlacements returns the number of stored placements in the index.
+func (cs *CompiledStructure) NumPlacements() int { return cs.count }
+
+// NumSpans returns the total interval count across all 2N rows — the S of
+// the memory-layout comment, a proxy for the index's footprint.
+func (cs *CompiledStructure) NumSpans() int { return len(cs.spanLo) }
+
+// findSpan binary-searches row r for the span covering v. Row spans are
+// ascending and non-overlapping, so the last span with Lo <= v is the only
+// candidate; -1 means v is uncovered in this row.
+func (cs *CompiledStructure) findSpan(r, v int) int {
+	lo, hi := int(cs.rowStart[r]), int(cs.rowStart[r+1])
+	first := lo
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(cs.spanLo[mid]) <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s := lo - 1
+	if s < first || v > int(cs.spanHi[s]) {
+		return -1
+	}
+	return s
+}
+
+// intersect computes the eq. 4 row intersection into the acc mask (len
+// cs.words) and reports whether any placement survived — the compiled
+// mirror of Structure.intersectInto, with the sorted-array merges replaced
+// by word-wide ANDs.
+func (cs *CompiledStructure) intersect(acc []uint64, ws, hs []int) bool {
+	w := cs.words
+	first := true
+	for i := 0; i < cs.n; i++ {
+		for dim := 0; dim < 2; dim++ {
+			v := ws[i]
+			if dim == 1 {
+				v = hs[i]
+			}
+			s := cs.findSpan(2*i+dim, v)
+			if s < 0 {
+				return false
+			}
+			off := s * w
+			if first {
+				copy(acc, cs.masks[off:off+w])
+				first = false
+				continue
+			}
+			nz := uint64(0)
+			for k := range acc {
+				acc[k] &= cs.masks[off+k]
+				nz |= acc[k]
+			}
+			if nz == 0 {
+				return false
+			}
+		}
+	}
+	return !first
+}
+
+// mask returns the intersection buffer for one query: a slice of the
+// caller's stack array when the structure fits maxStackWords, else a
+// pooled buffer (returned by putMask; putMask of nil is a no-op).
+func (cs *CompiledStructure) mask(buf *[maxStackWords]uint64) ([]uint64, *[]uint64) {
+	if cs.words <= maxStackWords {
+		return buf[:cs.words], nil
+	}
+	sp, _ := cs.scratch.Get().(*[]uint64)
+	if sp == nil || cap(*sp) < cs.words {
+		sp = new([]uint64)
+		*sp = make([]uint64, cs.words)
+	}
+	return (*sp)[:cs.words], sp
+}
+
+func (cs *CompiledStructure) putMask(sp *[]uint64) {
+	if sp != nil {
+		cs.scratch.Put(sp)
+	}
+}
+
+// maskCountFirst returns the population count of acc and the lowest set
+// slot (-1 when empty).
+func maskCountFirst(acc []uint64) (count int, slot int) {
+	slot = -1
+	for k, word := range acc {
+		if word == 0 {
+			continue
+		}
+		if slot < 0 {
+			slot = k*64 + bits.TrailingZeros64(word)
+		}
+		count += bits.OnesCount64(word)
+	}
+	return count, slot
+}
+
+// lookupUnique runs one covered-or-not intersection and returns the unique
+// slot (count 1), or the count for the caller's 0/eq.5 handling.
+func (cs *CompiledStructure) lookupUnique(ws, hs []int) (slot, count int) {
+	var buf [maxStackWords]uint64
+	acc, sp := cs.mask(&buf)
+	if !cs.intersect(acc, ws, hs) {
+		cs.putMask(sp)
+		return -1, 0
+	}
+	count, slot = maskCountFirst(acc)
+	cs.putMask(sp)
+	return slot, count
+}
+
+// Lookup returns the IDs of all stored placements covering the dimension
+// vector, ascending — identical to Structure.Lookup on the source
+// structure. The result is nil when uncovered and shares no memory with
+// the index.
+func (cs *CompiledStructure) Lookup(ws, hs []int) []int {
+	var buf [maxStackWords]uint64
+	acc, sp := cs.mask(&buf)
+	var out []int
+	if cs.intersect(acc, ws, hs) {
+		for k, word := range acc {
+			for ; word != 0; word &= word - 1 {
+				slot := k*64 + bits.TrailingZeros64(word)
+				out = append(out, int(cs.slotID[slot]))
+			}
+		}
+	}
+	cs.putMask(sp)
+	return out
+}
+
+// QueryID implements the paper's function M over the flat tables: the
+// unique covering placement's ID, ErrUncovered when nothing covers the
+// vector (the backup is Instantiate's business, not QueryID's), or the
+// eq. 5 violation error — exactly the tree Query's behavior, minus the
+// placement pointer.
+func (cs *CompiledStructure) QueryID(ws, hs []int) (int, error) {
+	if err := cs.src.checkDims(ws, hs); err != nil {
+		return -1, err
+	}
+	slot, count := cs.lookupUnique(ws, hs)
+	switch count {
+	case 0:
+		return -1, ErrUncovered
+	case 1:
+		return int(cs.slotID[slot]), nil
+	}
+	return -1, fmt.Errorf("core: eq.5 violated — %d placements cover one dimension vector: %v",
+		count, cs.Lookup(ws, hs))
+}
+
+// Instantiate answers a placement request from the flat tables, falling
+// back to the source structure's backup for uncovered space — semantically
+// identical to Structure.Instantiate.
+func (cs *CompiledStructure) Instantiate(ws, hs []int) (Result, error) {
+	var res Result
+	if err := cs.InstantiateInto(&res, ws, hs); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// InstantiateInto is Instantiate writing into res, reusing res.X and res.Y
+// capacity — the zero-allocation serving hot path (covered queries
+// allocate nothing once res has capacity; backup answers allocate in the
+// backup). On error res is left unspecified.
+func (cs *CompiledStructure) InstantiateInto(res *Result, ws, hs []int) error {
+	if err := cs.src.checkDims(ws, hs); err != nil {
+		return err
+	}
+	slot, count := cs.lookupUnique(ws, hs)
+	switch count {
+	case 1:
+		off := slot * cs.n
+		res.X = appendInt32s(res.X[:0], cs.xs[off:off+cs.n])
+		res.Y = appendInt32s(res.Y[:0], cs.ys[off:off+cs.n])
+		res.PlacementID = int(cs.slotID[slot])
+		res.FromBackup = false
+		return nil
+	case 0:
+		if b := cs.src.backup; b != nil {
+			x, y, berr := b.Place(ws, hs)
+			if berr != nil {
+				return fmt.Errorf("core: backup failed: %w", berr)
+			}
+			res.X, res.Y = x, y
+			res.PlacementID = -1
+			res.FromBackup = true
+			return nil
+		}
+		return ErrUncovered
+	}
+	return fmt.Errorf("core: eq.5 violated — %d placements cover one dimension vector: %v",
+		count, cs.Lookup(ws, hs))
+}
+
+// spanSlots appends span s's set slots in ascending order — the id-list
+// view of the bitset, used by the v3 encoder and the row cross-check.
+func (cs *CompiledStructure) spanSlots(s int, out []int32) []int32 {
+	off := s * cs.words
+	for k := 0; k < cs.words; k++ {
+		for word := cs.masks[off+k]; word != 0; word &= word - 1 {
+			out = append(out, int32(k*64+bits.TrailingZeros64(word)))
+		}
+	}
+	return out
+}
+
+// matchesRows reports whether the index's row tables are exactly the
+// flattened form of s's interval rows (same spans, same placement sets).
+// Load uses it to cross-check tables read from disk against the rows it
+// just rebuilt, so a file whose compiled section diverges from its
+// placement records is rejected instead of answering queries
+// inconsistently.
+func (cs *CompiledStructure) matchesRows(s *Structure) bool {
+	n := s.circuit.N()
+	if cs.n != n || cs.count != s.alive || len(cs.rowStart) != 2*n+1 ||
+		len(cs.spanHi) != len(cs.spanLo) || len(cs.masks) != len(cs.spanLo)*cs.words {
+		return false
+	}
+	span := 0
+	ok := true
+	check := func(iv geom.Interval, rowIDs []int) {
+		if !ok || span >= len(cs.spanLo) {
+			ok = false
+			return
+		}
+		if int(cs.spanLo[span]) != iv.Lo || int(cs.spanHi[span]) != iv.Hi {
+			ok = false
+			return
+		}
+		off := span * cs.words
+		popcount := 0
+		for k := 0; k < cs.words; k++ {
+			popcount += bits.OnesCount64(cs.masks[off+k])
+		}
+		if popcount != len(rowIDs) {
+			ok = false
+			return
+		}
+		for _, id := range rowIDs {
+			slot := -1
+			// Slot order follows ID order, so the tree's ascending ids map
+			// to ascending slots; binary search keeps the check O(S log P).
+			lo, hi := 0, len(cs.slotID)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if int(cs.slotID[mid]) < id {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(cs.slotID) && int(cs.slotID[lo]) == id {
+				slot = lo
+			}
+			if slot < 0 || cs.masks[off+slot>>6]&(1<<(slot&63)) == 0 {
+				ok = false
+				return
+			}
+		}
+		span++
+	}
+	for i := 0; i < n && ok; i++ {
+		if int(cs.rowStart[2*i]) != span {
+			return false
+		}
+		s.wRows[i].Visit(check)
+		if !ok || int(cs.rowStart[2*i+1]) != span {
+			return false
+		}
+		s.hRows[i].Visit(check)
+	}
+	return ok && span == len(cs.spanLo) && int(cs.rowStart[2*n]) == span
+}
+
+func appendInt32s(dst []int, src []int32) []int {
+	for _, v := range src {
+		dst = append(dst, int(v))
+	}
+	return dst
+}

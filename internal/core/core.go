@@ -24,4 +24,10 @@
 // copied out of the structure. Installed Backup implementations must
 // themselves be safe for concurrent Place calls (both shipped backups,
 // template and seqpair, are stateless after construction).
+//
+// Compile follows the same life cycle: it flattens the rows into a
+// CompiledStructure (compiled.go) — the serving hot path — once
+// generation is done, caches the result on the structure, and any
+// mutation invalidates the cache. The compiled index is likewise safe
+// for unlimited concurrent readers.
 package core

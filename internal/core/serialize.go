@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"mps/internal/geom"
 	"mps/internal/netlist"
@@ -69,13 +70,16 @@ func (s *Structure) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a structure saved by Save (gob v1) or SaveBinary (v2),
-// sniffing the format from the first bytes. The circuit must be the same
-// topology the structure was generated for (matched by name and block
-// count). Placements are verified pairwise-disjoint while loading, so a
-// corrupted file that would violate eq. 5 is rejected rather than silently
-// repaired; v2 files additionally fail fast on a checksum mismatch before
-// any semantic check runs.
+// Load reads a structure saved by Save (gob v1), SaveBinary (v2) or
+// SaveBinaryCompiled (v3), sniffing the format from the first bytes. The
+// circuit must be the same topology the structure was generated for
+// (matched by name and block count). Placements are verified
+// pairwise-disjoint while loading, so a corrupted file that would violate
+// eq. 5 is rejected rather than silently repaired; v2/v3 files
+// additionally fail fast on a checksum mismatch before any semantic check
+// runs. A v3 file's compiled tables are cross-checked against the rebuilt
+// rows and installed, so the first Compile on the loaded structure is
+// free.
 func Load(r io.Reader, c *netlist.Circuit) (*Structure, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(binaryMagic))
@@ -84,11 +88,20 @@ func Load(r io.Reader, c *netlist.Circuit) (*Structure, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: reading structure: %w", err)
 		}
-		ff, err := decodeBinary(data)
+		ff, ct, err := decodeBinary(data)
 		if err != nil {
 			return nil, err
 		}
-		return buildStructure(ff, c)
+		s, err := buildStructure(ff, c)
+		if err != nil {
+			return nil, err
+		}
+		if ct != nil {
+			if err := attachCompiled(s, ct); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
 	}
 	// Not a v2 header: treat as gob v1. Short or garbage streams land here
 	// too and fail with gob's decode error.
@@ -115,6 +128,15 @@ func Load(r io.Reader, c *netlist.Circuit) (*Structure, error) {
 func buildStructure(ff *fileFormat, c *netlist.Circuit) (*Structure, error) {
 	if c.Name != ff.CircuitName {
 		return nil, fmt.Errorf("core: file is for circuit %q, not %q", ff.CircuitName, c.Name)
+	}
+	// Bound the floorplan to the compiled index's int32 coordinate space.
+	// CheckLegal keeps every anchor inside the floorplan, so this one check
+	// makes Compile's int32 narrowing infallible for any loaded structure —
+	// a forged file cannot turn the decoder's error contract into a panic.
+	for _, v := range [4]int{ff.Floorplan.X0, ff.Floorplan.Y0, ff.Floorplan.X1, ff.Floorplan.Y1} {
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return nil, fmt.Errorf("core: floorplan %v exceeds the int32 coordinate range", ff.Floorplan)
+		}
 	}
 	s := NewStructure(c, ff.Floorplan)
 	n := c.N()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mps/internal/geom"
 	"mps/internal/intervalmap"
@@ -44,6 +45,11 @@ type Structure struct {
 	// scratch pools query-intersection buffers so concurrent Lookup calls
 	// never share scratch space (holds *[]int).
 	scratch sync.Pool
+
+	// compiled caches the flat query index built by Compile; mutations
+	// (store, delete, shrinkRow) drop it so a stale index can never answer
+	// for rows that have since changed.
+	compiled atomic.Pointer[CompiledStructure]
 }
 
 // NewStructure returns an empty structure for the circuit on the given
@@ -124,6 +130,7 @@ func (s *Structure) store(p *placement.Placement) (int, error) {
 	if err := p.CheckIntervalsWithin(s.circuit); err != nil {
 		return -1, err
 	}
+	s.compiled.Store(nil)
 	id := len(s.placements)
 	p.ID = id
 	s.placements = append(s.placements, p)
@@ -141,6 +148,7 @@ func (s *Structure) delete(id int) {
 	if p == nil {
 		return
 	}
+	s.compiled.Store(nil)
 	for i := 0; i < s.circuit.N(); i++ {
 		s.wRows[i].Remove(id, p.WIv(i))
 		s.hRows[i].Remove(id, p.HIv(i))
@@ -152,6 +160,7 @@ func (s *Structure) delete(id int) {
 // shrinkRow narrows one validity interval of a stored placement in place,
 // updating the affected row. dim 0 is width, 1 is height.
 func (s *Structure) shrinkRow(p *placement.Placement, block, dim int, newIv geom.Interval) {
+	s.compiled.Store(nil)
 	var row *intervalmap.Row
 	var old geom.Interval
 	if dim == 0 {

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mps/internal/stats"
+)
+
+// This file implements the CI performance-regression gate: a fresh
+// micro-benchmark run is compared against the checked-in
+// BENCH_baseline.json and any op that got slower beyond tolerance — or
+// allocates more at all — fails the build. Allocations are compared
+// exactly because they are machine-independent: an alloc crept into a hot
+// path on any hardware. Wall time gets a tolerance because CI runners are
+// not the machine the baseline was recorded on.
+
+// DefaultNsTolerance is the fractional ns/op growth allowed before an op
+// counts as regressed (0.30 = 30%).
+const DefaultNsTolerance = 0.30
+
+// BenchDelta is one op's baseline-vs-current comparison.
+type BenchDelta struct {
+	Name           string
+	BaselineNs     float64
+	CurrentNs      float64
+	BaselineAllocs int64
+	CurrentAllocs  int64
+	// Status is "ok", "regressed", "missing" (in the baseline but not the
+	// run — a silently dropped benchmark also fails the gate), or "new"
+	// (informational; it enters the gate once the baseline is refreshed).
+	Status string
+	Reason string
+}
+
+// Regressed reports whether this delta fails the gate.
+func (d BenchDelta) Regressed() bool { return d.Status == "regressed" || d.Status == "missing" }
+
+// ReadBenchJSON loads a BENCH_results.json / BENCH_baseline.json document.
+func ReadBenchJSON(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("experiments: parsing %s: %w", path, err)
+	}
+	if len(report.Results) == 0 {
+		return nil, fmt.Errorf("experiments: %s contains no benchmark results", path)
+	}
+	return &report, nil
+}
+
+// CompareBench matches ops by name and classifies each against the
+// baseline: allocs/op must not grow at all, ns/op must not grow beyond
+// tolerance (fraction; < 0 selects DefaultNsTolerance). Deltas come back
+// sorted by name; regressed reports whether any op fails the gate.
+func CompareBench(baseline, current []BenchResult, tolerance float64) (deltas []BenchDelta, regressed bool) {
+	if tolerance < 0 {
+		tolerance = DefaultNsTolerance
+	}
+	cur := make(map[string]BenchResult, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	for _, base := range baseline {
+		d := BenchDelta{
+			Name:           base.Name,
+			BaselineNs:     base.NsPerOp,
+			BaselineAllocs: base.AllocsPerOp,
+			Status:         "ok",
+		}
+		r, ok := cur[base.Name]
+		if !ok {
+			d.Status = "missing"
+			d.Reason = "op present in baseline but not in this run"
+			deltas = append(deltas, d)
+			continue
+		}
+		delete(cur, base.Name)
+		d.CurrentNs = r.NsPerOp
+		d.CurrentAllocs = r.AllocsPerOp
+		switch {
+		case r.AllocsPerOp > base.AllocsPerOp:
+			d.Status = "regressed"
+			d.Reason = fmt.Sprintf("allocs/op grew %d -> %d (exact gate)", base.AllocsPerOp, r.AllocsPerOp)
+		case base.NsPerOp > 0 && r.NsPerOp > base.NsPerOp*(1+tolerance):
+			d.Status = "regressed"
+			d.Reason = fmt.Sprintf("ns/op grew %.0f -> %.0f (>%.0f%% tolerance)",
+				base.NsPerOp, r.NsPerOp, tolerance*100)
+		}
+		deltas = append(deltas, d)
+	}
+	for name, r := range cur {
+		deltas = append(deltas, BenchDelta{
+			Name:          name,
+			CurrentNs:     r.NsPerOp,
+			CurrentAllocs: r.AllocsPerOp,
+			Status:        "new",
+			Reason:        "not in baseline yet",
+		})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	for _, d := range deltas {
+		if d.Regressed() {
+			regressed = true
+			break
+		}
+	}
+	return deltas, regressed
+}
+
+// RatioGate asserts a speed relationship between two ops measured in the
+// same run. Unlike the absolute baseline comparison it is machine
+// independent — both sides ran on the same hardware moments apart — so it
+// stays meaningful on CI runners that are faster or slower than the
+// machine that recorded the baseline.
+type RatioGate struct {
+	Fast       string  // op that must be faster
+	Slow       string  // op it is measured against
+	MinSpeedup float64 // Slow.NsPerOp / Fast.NsPerOp must be >= this
+}
+
+// DefaultRatioGates pins the compiled query index's acceptance property:
+// on covered queries the compiled path must stay at least 2× faster than
+// the tree path (the measured ratio is ~3×; the margin absorbs noise).
+var DefaultRatioGates = []RatioGate{
+	{
+		Fast:       "instantiate_covered_compiled/TwoStageOpamp",
+		Slow:       "instantiate_covered/TwoStageOpamp",
+		MinSpeedup: 2.0,
+	},
+}
+
+// CheckRatioGates evaluates the gates against one run's results and
+// returns a failure message per violated (or unevaluable) gate.
+func CheckRatioGates(current []BenchResult, gates []RatioGate) []string {
+	byName := make(map[string]BenchResult, len(current))
+	for _, r := range current {
+		byName[r.Name] = r
+	}
+	var failures []string
+	for _, g := range gates {
+		fast, okF := byName[g.Fast]
+		slow, okS := byName[g.Slow]
+		if !okF || !okS {
+			failures = append(failures, fmt.Sprintf("ratio gate %s vs %s: op missing from this run", g.Fast, g.Slow))
+			continue
+		}
+		if fast.NsPerOp <= 0 {
+			failures = append(failures, fmt.Sprintf("ratio gate %s: non-positive ns/op", g.Fast))
+			continue
+		}
+		if speedup := slow.NsPerOp / fast.NsPerOp; speedup < g.MinSpeedup {
+			failures = append(failures, fmt.Sprintf("%s is only %.2fx faster than %s (gate: >=%.1fx)",
+				g.Fast, speedup, g.Slow, g.MinSpeedup))
+		}
+	}
+	return failures
+}
+
+// RenderBenchDeltas prints the comparison as a table, flagging gate
+// failures in the status column.
+func RenderBenchDeltas(w io.Writer, deltas []BenchDelta) {
+	tb := stats.NewTable("op", "base ns/op", "ns/op", "base allocs", "allocs", "status")
+	for _, d := range deltas {
+		status := d.Status
+		if d.Reason != "" {
+			status = fmt.Sprintf("%s (%s)", d.Status, d.Reason)
+		}
+		tb.AddRow(d.Name,
+			fmt.Sprintf("%.0f", d.BaselineNs), fmt.Sprintf("%.0f", d.CurrentNs),
+			d.BaselineAllocs, d.CurrentAllocs, status)
+	}
+	tb.Render(w)
+}

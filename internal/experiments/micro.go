@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -40,10 +41,12 @@ type BenchReport struct {
 }
 
 // RunMicro benchmarks the serving stack's critical operations — quick
-// generation, single and batched instantiation, and both on-disk codecs —
-// via testing.Benchmark, renders a table to w, and returns the rows for
+// generation, instantiation through the tree and compiled query paths
+// (mixed and covered-only workloads), and both on-disk codecs — via
+// testing.Benchmark, renders a table to w, and returns the rows for
 // WriteBenchJSON. The quick-effort budgets keep a full run in the tens of
-// seconds, small enough for CI.
+// seconds, small enough for CI, and every op is deterministic in
+// allocs/op so the -compare gate can check allocations exactly.
 func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 	// One structure powers the instantiate and codec benchmarks; quick
 	// effort keeps its generation out of the measured loops' noise floor.
@@ -64,6 +67,11 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 			hs[q][i] = b.HMin + rng.Intn(b.HMax-b.HMin+1)
 		}
 	}
+	cs := core.Compile(s)
+	cws, chs := CoveredQueryPool(s, rng, batchSize)
+	if cws == nil {
+		return nil, fmt.Errorf("experiments: benchmark structure has no placements to query")
+	}
 	var v2 bytes.Buffer
 	if err := s.SaveBinary(&v2); err != nil {
 		return nil, err
@@ -77,9 +85,13 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 		name string
 		fn   func(b *testing.B)
 	}{
+		// Fixed seed on every iteration: the annealing run is then
+		// identical work each time, so allocs/op is exactly reproducible —
+		// a varying seed would shift the average with the iteration count
+		// and flake the -compare gate's exact allocation check.
 		{"generate/circ01/quick", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := GenerateForBenchmark("circ01", EffortQuick, seed+int64(i)); err != nil {
+				if _, _, err := GenerateForBenchmark("circ01", EffortQuick, seed); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -88,6 +100,37 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 			for i := 0; i < b.N; i++ {
 				q := i % batchSize
 				if _, err := s.Instantiate(ws[q], hs[q]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The compiled twin of the op above, on the same mixed
+		// covered/backup query stream — the end-to-end serving delta.
+		{"instantiate_compiled/TwoStageOpamp", func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				q := i % batchSize
+				if err := cs.InstantiateInto(&res, ws[q], hs[q]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// Covered-only queries: the pure index comparison with the backup
+		// template out of the loop. The compiled row is the CI gate's
+		// zero-allocation sentinel — allocs/op must stay exactly 0.
+		{"instantiate_covered/TwoStageOpamp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := i % batchSize
+				if _, err := s.Instantiate(cws[q], chs[q]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"instantiate_covered_compiled/TwoStageOpamp", func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				q := i % batchSize
+				if err := cs.InstantiateInto(&res, cws[q], chs[q]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -148,8 +191,12 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 
 // WriteBenchJSON writes the rows as a BENCH_results.json document at
 // path, atomically (CI uploads the file; a crashed run must not leave a
-// torn one).
+// torn one). Rows are sorted by op name and struct fields encode in
+// declaration order, so two runs differ only where their numbers do —
+// the property the checked-in BENCH_baseline.json diffs rely on.
 func WriteBenchJSON(path string, seed int64, results []BenchResult) error {
+	results = append([]BenchResult(nil), results...)
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 	report := BenchReport{
 		Version:    1,
 		GoOS:       runtime.GOOS,

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"mps/internal/core"
+	"mps/internal/stats"
+)
+
+// This file implements the tree-vs-compiled query study (ROADMAP: make the
+// hot path measurably faster): for a spread of benchmark circuits it
+// benchmarks Instantiate through the pointer-walking interval rows and
+// through the compiled flat index on an identical covered-query workload,
+// reporting ns/op and allocs/op side by side. Covered queries isolate the
+// index comparison — uncovered queries would time the shared backup
+// template instead of either index.
+
+// QueryPerfRow is one circuit's tree-vs-compiled comparison.
+type QueryPerfRow struct {
+	Circuit        string
+	Placements     int
+	Spans          int // compiled index size (total intervals across 2N rows)
+	TreeNs         float64
+	TreeAllocs     int64
+	CompiledNs     float64
+	CompiledAllocs int64
+	Speedup        float64 // TreeNs / CompiledNs
+}
+
+// queryPerfCircuits spans small to large block counts; the compiled win
+// must hold across the size range, not just on one shape.
+var queryPerfCircuits = []string{"circ01", "TwoStageOpamp", "Mixer", "tso-cascode"}
+
+// CoveredQueryPool draws count dimension vectors uniformly from stored
+// placements' dimension boxes, so every query resolves to a stored
+// placement on both paths. It returns nils when the structure holds no
+// placements — callers must treat that as "nothing to benchmark". Shared
+// by RunMicro, RunQueryPerf, and the root covered-query benchmarks.
+func CoveredQueryPool(s *core.Structure, rng *rand.Rand, count int) (ws, hs [][]int) {
+	ids := s.IDs()
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	n := s.Circuit().N()
+	ws = make([][]int, count)
+	hs = make([][]int, count)
+	for q := 0; q < count; q++ {
+		p := s.Get(ids[rng.Intn(len(ids))])
+		ws[q] = make([]int, n)
+		hs[q] = make([]int, n)
+		for i := 0; i < n; i++ {
+			ws[q][i] = p.WLo[i] + rng.Intn(p.WHi[i]-p.WLo[i]+1)
+			hs[q][i] = p.HLo[i] + rng.Intn(p.HHi[i]-p.HLo[i]+1)
+		}
+	}
+	return ws, hs
+}
+
+// RunQueryPerf generates one structure per study circuit, benchmarks both
+// query paths on the same covered workload, renders a table to w, and
+// returns the rows.
+func RunQueryPerf(w io.Writer, effort Effort, seed int64) ([]QueryPerfRow, error) {
+	fmt.Fprintln(w, "Query-path comparison: interval-tree walk vs compiled flat index (covered queries)")
+	tb := stats.NewTable("circuit", "placements", "spans",
+		"tree ns/op", "tree allocs", "compiled ns/op", "compiled allocs", "speedup")
+	rows := make([]QueryPerfRow, 0, len(queryPerfCircuits))
+	for _, name := range queryPerfCircuits {
+		s, _, err := GenerateForBenchmark(name, effort, seed)
+		if err != nil {
+			return nil, err
+		}
+		cs := core.Compile(s)
+		rng := rand.New(rand.NewSource(seed + 101))
+		const pool = 1024
+		ws, hs := CoveredQueryPool(s, rng, pool)
+		if ws == nil {
+			return nil, fmt.Errorf("experiments: %s generated no placements to query", name)
+		}
+
+		tree := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := i % pool
+				if _, err := s.Instantiate(ws[q], hs[q]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		compiled := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				q := i % pool
+				if err := cs.InstantiateInto(&res, ws[q], hs[q]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		row := QueryPerfRow{
+			Circuit:        name,
+			Placements:     s.NumPlacements(),
+			Spans:          cs.NumSpans(),
+			TreeNs:         float64(tree.T.Nanoseconds()) / float64(tree.N),
+			TreeAllocs:     tree.AllocsPerOp(),
+			CompiledNs:     float64(compiled.T.Nanoseconds()) / float64(compiled.N),
+			CompiledAllocs: compiled.AllocsPerOp(),
+		}
+		if row.CompiledNs > 0 {
+			row.Speedup = row.TreeNs / row.CompiledNs
+		}
+		rows = append(rows, row)
+		tb.AddRow(row.Circuit, row.Placements, row.Spans,
+			fmt.Sprintf("%.0f", row.TreeNs), row.TreeAllocs,
+			fmt.Sprintf("%.0f", row.CompiledNs), row.CompiledAllocs,
+			fmt.Sprintf("%.2fx", row.Speedup))
+	}
+	tb.Render(w)
+	return rows, nil
+}

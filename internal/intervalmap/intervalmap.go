@@ -199,6 +199,16 @@ func (r *Row) IDsOverlapping(iv geom.Interval) []int {
 	return out
 }
 
+// Visit calls fn for every interval of the row in ascending order, passing
+// the interval and its placement-id array. The ids slice is shared with the
+// row and must not be modified or retained. Unlike Snapshot, Visit allocates
+// nothing — it is the walk core.Compile uses to flatten rows.
+func (r *Row) Visit(fn func(iv geom.Interval, ids []int)) {
+	for n := r.head; n != nil; n = n.next {
+		fn(n.iv, n.ids)
+	}
+}
+
 // Span holds one interval and its placement ids — the exported snapshot form
 // used for serialization and inspection.
 type Span struct {

@@ -247,6 +247,24 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestVisitMatchesSnapshot pins Visit (the allocation-free walk behind
+// core.Compile) to Snapshot's view of the row, order included.
+func TestVisitMatchesSnapshot(t *testing.T) {
+	var r Row
+	r.Insert(0, iv(0, 5))
+	r.Insert(1, iv(3, 9))
+	r.Insert(2, iv(20, 30))
+	var visited []Span
+	r.Visit(func(ivl geom.Interval, ids []int) {
+		visited = append(visited, Span{Iv: ivl, IDs: append([]int(nil), ids...)})
+	})
+	if !reflect.DeepEqual(visited, r.Snapshot()) {
+		t.Fatalf("Visit saw %v, Snapshot says %v", visited, r.Snapshot())
+	}
+	var empty Row
+	empty.Visit(func(geom.Interval, []int) { t.Fatal("Visit on empty row called fn") })
+}
+
 func TestFromSnapshotRejectsBadInput(t *testing.T) {
 	bad := [][]Span{
 		{{Iv: iv(5, 4), IDs: []int{0}}},                                // empty interval

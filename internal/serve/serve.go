@@ -4,7 +4,10 @@
 // and held in a bounded LRU cache (Fig. 1a), and batched Instantiate
 // traffic — the hot path of a layout-inclusive sizing loop (Fig. 1b,
 // §3.3) — is answered from the cached structure through the facade's
-// concurrent InstantiateBatch worker pool.
+// concurrent InstantiateBatch worker pool, which queries the compiled
+// (flat, allocation-free) form of the structure. The index is always
+// materialized off the request path: after generation on the job worker,
+// or during the disk load (v3 store files carry the compiled tables).
 //
 // Generation requests for the same key are deduplicated: concurrent
 // clients share one generation run (per-entry sync.Once) and all block on
@@ -479,7 +482,15 @@ func (s *Server) runGeneration(ctx context.Context, spec GenerateSpec, report fu
 		}
 	}
 	s.genRuns.Add(1)
-	return mps.GenerateContext(ctx, circuit, opts)
+	st, stats, err = mps.GenerateContext(ctx, circuit, opts)
+	if err == nil && st != nil {
+		// Compile on the job worker, not on the first instantiate request:
+		// queries against this structure — including the background persist,
+		// which saves the compiled tables into the v3 file — find the index
+		// ready.
+		st.Compiled()
+	}
+	return st, stats, err
 }
 
 // structureFor returns the cached structure for the spec, scheduling its
@@ -588,6 +599,12 @@ func (s *Server) loadFromStore(spec GenerateSpec) (*mps.Structure, mps.Stats, er
 	}
 	st := &mps.Structure{Structure: cs}
 	st.SetBackupKind(spec.backupKind())
+	// Materialize the compiled query index before the entry publishes so
+	// no instantiate request ever pays compile cost. Store files are v3
+	// (placements + compiled tables), so this is a cache hit — core.Load
+	// attached the index during decode; only a legacy v2 file compiles
+	// here, still off the request path.
+	st.Compiled()
 	// The manifest's coverage snapshot is all that survives a restart;
 	// the rest of the generation stats belong to the process that ran
 	// the annealer.

@@ -2,7 +2,8 @@
 // paper's "generate once, instantiate forever" premise (Fig. 1): generated
 // multi-placement structures outlive the process that paid for them. A Dir
 // holds one structure file per canonical (circuit, seed, options) key —
-// written atomically in the v2 binary format (internal/core/codec.go) —
+// written atomically in the v3 binary format (internal/core/codec.go:
+// placements plus the compiled query index's tables) —
 // plus a rewritable JSON manifest recording circuit, seed, options,
 // placement count, byte size, and creation time.
 //
@@ -154,8 +155,11 @@ func (d *Dir) Put(meta Meta, s *core.Structure) (Meta, error) {
 
 	// The structure write happens outside the entries lock: concurrent
 	// Puts to one key land on the same filename, where the atomic rename
-	// makes the race benign (one complete file wins).
-	n, err := WriteFileAtomic(filepath.Join(d.root, meta.File), s.SaveBinary)
+	// makes the race benign (one complete file wins). Structures persist
+	// in the v3 format — placements plus the compiled query index's row
+	// tables — so whoever loads the file next (a warm-starting daemon)
+	// gets the flat index without a compile on its request path.
+	n, err := WriteFileAtomic(filepath.Join(d.root, meta.File), s.SaveBinaryCompiled)
 	if err != nil {
 		return Meta{}, fmt.Errorf("store: %w", err)
 	}

@@ -44,6 +44,29 @@ type Structure struct {
 	*core.Structure
 }
 
+// CompiledStructure re-exports the flat query index type so callers can
+// name what Compiled returns.
+type CompiledStructure = core.CompiledStructure
+
+// Compiled returns the structure's compiled query index — its 2N interval
+// rows flattened into sorted int32 breakpoint and placement-id tables with
+// binary-search lookup and zero allocations per covered query. The index
+// is built lazily on first use and cached (structures loaded from v3 files
+// arrive with it prebuilt), so every query path on the facade —
+// Instantiate, InstantiateBatch, the mpsd handlers — pays compile cost at
+// most once per structure.
+func (s *Structure) Compiled() *CompiledStructure {
+	return core.Compile(s.Structure)
+}
+
+// Instantiate answers a placement request through the compiled query
+// index, compiling it on first use. Results are semantically identical to
+// the tree path (core.Structure.Instantiate), which remains reachable
+// through the embedded structure for ablation and testing.
+func (s *Structure) Instantiate(ws, hs []int) (Result, error) {
+	return s.Compiled().Instantiate(ws, hs)
+}
+
 // Result re-exports the instantiation result type.
 type Result = core.Result
 
