@@ -8,7 +8,9 @@ package mps
 // Batches query the flat CompiledStructure (compiled lazily on first
 // batch, cached thereafter), which is safe for concurrent readers (its
 // query scratch is pooled), so workers share the index directly with no
-// locking on the hot path.
+// locking on the hot path. Portfolio batches ride the same pool: the
+// per-query function routes through the best covering member instead of a
+// single index.
 
 import (
 	"runtime"
@@ -27,7 +29,13 @@ type DimQuery struct {
 // single invalid query fails alone rather than aborting the whole batch.
 type BatchResult struct {
 	Result
-	Err error
+	// Member is the portfolio member that answered (portfolio batches):
+	// the member index for routed answers, -1 when the backup answered or
+	// the query errored. Single-structure batches report 0 for stored
+	// answers and -1 otherwise, so Member >= 0 always means a stored
+	// placement answered.
+	Member int
+	Err    error
 }
 
 // batchChunk is the number of queries a worker claims at a time. Chunking
@@ -40,29 +48,37 @@ const batchChunk = 32
 // InstantiateBatch runs serially instead.
 const serialBatchThreshold = 2 * batchChunk
 
-// InstantiateBatch answers every query and returns results in query order,
-// fanning the batch across a worker pool bounded by GOMAXPROCS. Small
-// batches run serially. The structure must not be mutated concurrently
-// (it never is after Generate/LoadFile return).
-func (s *Structure) InstantiateBatch(queries []DimQuery) []BatchResult {
-	return s.InstantiateBatchWorkers(queries, 0)
-}
-
-// InstantiateBatchWorkers is InstantiateBatch with an explicit worker
-// bound: workers <= 0 selects GOMAXPROCS, 1 forces serial execution.
-// Batches below serialBatchThreshold run serially regardless of workers —
-// the bound caps fan-out, it does not force it.
-func (s *Structure) InstantiateBatchWorkers(queries []DimQuery, workers int) []BatchResult {
-	out := make([]BatchResult, len(queries))
-	cs := s.Compiled()
+// batchWorkers resolves how many goroutines a batch fans out across — the
+// one place the worker count is decided, pinned by TestBatchWorkersClamp.
+// workers <= 0 selects GOMAXPROCS; the count is then clamped to the number
+// of batchChunk-sized chunks so small parallel batches never spawn workers
+// with no chunk to claim; 1 (also chosen for every batch below
+// serialBatchThreshold) means "run serially, spawn nothing".
+func batchWorkers(numQueries, workers int) int {
+	if numQueries < serialBatchThreshold {
+		return 1
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if max := (len(queries) + batchChunk - 1) / batchChunk; workers > max {
-		workers = max
+	if chunks := (numQueries + batchChunk - 1) / batchChunk; workers > chunks {
+		workers = chunks
 	}
-	if workers <= 1 || len(queries) < serialBatchThreshold {
-		instantiateRange(cs, queries, out, 0, len(queries))
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runBatch answers every query via fn and returns results in query order,
+// fanning the batch across batchWorkers goroutines. fn must be safe for
+// concurrent calls and writes its answer into out.
+func runBatch(queries []DimQuery, workers int, fn func(q DimQuery, out *BatchResult)) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if workers = batchWorkers(len(queries), workers); workers == 1 {
+		for i := range queries {
+			fn(queries[i], &out[i])
+		}
 		return out
 	}
 
@@ -81,7 +97,9 @@ func (s *Structure) InstantiateBatchWorkers(queries []DimQuery, workers int) []B
 				if end > len(queries) {
 					end = len(queries)
 				}
-				instantiateRange(cs, queries, out, start, end)
+				for i := start; i < end; i++ {
+					fn(queries[i], &out[i])
+				}
 			}
 		}()
 	}
@@ -89,11 +107,40 @@ func (s *Structure) InstantiateBatchWorkers(queries []DimQuery, workers int) []B
 	return out
 }
 
-// instantiateRange answers queries[start:end] into out[start:end] from the
-// compiled index.
-func instantiateRange(cs *CompiledStructure, queries []DimQuery, out []BatchResult, start, end int) {
-	for i := start; i < end; i++ {
-		res, err := cs.Instantiate(queries[i].Ws, queries[i].Hs)
-		out[i] = BatchResult{Result: res, Err: err}
-	}
+// InstantiateBatch answers every query and returns results in query order,
+// fanning the batch across a worker pool bounded by GOMAXPROCS. Small
+// batches run serially. The structure must not be mutated concurrently
+// (it never is after Generate/LoadFile return).
+func (s *Structure) InstantiateBatch(queries []DimQuery) []BatchResult {
+	return s.InstantiateBatchWorkers(queries, 0)
+}
+
+// InstantiateBatchWorkers is InstantiateBatch with an explicit worker
+// bound: workers <= 0 selects GOMAXPROCS, 1 forces serial execution.
+// Batches below serialBatchThreshold run serially regardless of workers —
+// the bound caps fan-out, it does not force it.
+func (s *Structure) InstantiateBatchWorkers(queries []DimQuery, workers int) []BatchResult {
+	cs := s.Compiled()
+	return runBatch(queries, workers, func(q DimQuery, out *BatchResult) {
+		res, err := cs.Instantiate(q.Ws, q.Hs)
+		out.Result, out.Err = res, err
+		if err != nil || res.FromBackup {
+			out.Member = -1
+		}
+	})
+}
+
+// InstantiateBatch answers every query through best-of-K routing and
+// returns results in query order; see Structure.InstantiateBatch for the
+// fan-out contract. Each result's Member records the answering member.
+func (p *Portfolio) InstantiateBatch(queries []DimQuery) []BatchResult {
+	return p.InstantiateBatchWorkers(queries, 0)
+}
+
+// InstantiateBatchWorkers is the portfolio InstantiateBatch with an
+// explicit worker bound, mirroring Structure.InstantiateBatchWorkers.
+func (p *Portfolio) InstantiateBatchWorkers(queries []DimQuery, workers int) []BatchResult {
+	return runBatch(queries, workers, func(q DimQuery, out *BatchResult) {
+		out.Member, out.Err = p.InstantiateInto(&out.Result, q.Ws, q.Hs)
+	})
 }

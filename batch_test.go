@@ -43,6 +43,17 @@ func randomQueries(c *Circuit, rng *rand.Rand, n int) []DimQuery {
 	return qs
 }
 
+// asBatchResult wraps a serial Instantiate answer in the BatchResult the
+// batch path produces, including the Member convention (-1 for backup or
+// errored answers, 0 for stored answers on a single structure).
+func asBatchResult(res Result, err error) BatchResult {
+	br := BatchResult{Result: res, Err: err}
+	if err != nil || res.FromBackup {
+		br.Member = -1
+	}
+	return br
+}
+
 // TestInstantiateBatchMatchesSerial checks the worker pool returns, in query
 // order, exactly what serial Instantiate calls return.
 func TestInstantiateBatchMatchesSerial(t *testing.T) {
@@ -53,7 +64,7 @@ func TestInstantiateBatchMatchesSerial(t *testing.T) {
 	want := make([]BatchResult, len(queries))
 	for i, q := range queries {
 		res, err := s.Instantiate(q.Ws, q.Hs)
-		want[i] = BatchResult{Result: res, Err: err}
+		want[i] = asBatchResult(res, err)
 	}
 
 	for _, workers := range []int{0, 1, 2, 8} {
@@ -120,7 +131,7 @@ func TestConcurrentInstantiate(t *testing.T) {
 	want := make([]BatchResult, nQueries)
 	for i, q := range queries {
 		res, err := s.Instantiate(q.Ws, q.Hs)
-		want[i] = BatchResult{Result: res, Err: err}
+		want[i] = asBatchResult(res, err)
 	}
 
 	const goroutines = 12
@@ -145,7 +156,7 @@ func TestConcurrentInstantiate(t *testing.T) {
 			for k := 0; k < nQueries; k++ {
 				i := (k*7 + g*13) % nQueries
 				res, err := s.Instantiate(queries[i].Ws, queries[i].Hs)
-				if !reflect.DeepEqual(BatchResult{Result: res, Err: err}, want[i]) {
+				if !reflect.DeepEqual(asBatchResult(res, err), want[i]) {
 					errs <- "single result diverged from serial"
 					return
 				}

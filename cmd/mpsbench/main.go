@@ -9,6 +9,8 @@
 //	mpsbench -fig5 -fig6 -fig7 -out results/
 //	mpsbench -saveload              # on-disk codec comparison (gob v1 vs binary v2)
 //	mpsbench -queryperf             # tree vs compiled query-path comparison
+//	mpsbench -portfolio 3           # best-of-K portfolio study: coverage and
+//	                                # mean-area deltas vs a single structure
 //	mpsbench -micro [-json]         # serving-stack micro-benchmarks; -json also
 //	                                # writes machine-readable BENCH_results.json
 //	                                # (op names, ns/op, bytes/op) for CI archiving
@@ -45,6 +47,7 @@ func main() {
 	synthCmp := flag.Bool("synth", false, "run the Fig. 1b synthesis-loop provider comparison (extension)")
 	saveload := flag.Bool("saveload", false, "benchmark the on-disk codecs: gob v1 vs binary v2 per circuit (extension)")
 	queryperf := flag.Bool("queryperf", false, "compare the tree and compiled query paths per circuit (ns/op, allocs/op)")
+	portfolioK := flag.Int("portfolio", 0, "best-of-K portfolio study: coverage and mean-area deltas vs K=1 (0 = off; try 3)")
 	micro := flag.Bool("micro", false, "run the serving-stack micro-benchmarks (generate, instantiate, codecs)")
 	jsonOut := flag.Bool("json", false, "write micro-benchmark results to BENCH_results.json (implies -micro; lands in -out when set)")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate the micro-benchmarks against (implies -micro); exit 1 on regression")
@@ -61,8 +64,11 @@ func main() {
 	if *all {
 		*table1, *table2, *fig5, *fig6, *fig7 = true, true, true, true, true
 		*scaling, *synthCmp, *saveload, *micro, *queryperf = true, true, true, true, true
+		if *portfolioK == 0 {
+			*portfolioK = 3
+		}
 	}
-	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload || *micro || *queryperf) {
+	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload || *micro || *queryperf || *portfolioK > 0) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -170,6 +176,12 @@ func main() {
 	}
 	if *queryperf {
 		if _, err := experiments.RunQueryPerf(os.Stdout, effort, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *portfolioK > 0 {
+		if _, err := experiments.RunPortfolio(os.Stdout, effort, *seed, *portfolioK); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()

@@ -25,6 +25,14 @@
 // (SIGINT/SIGTERM) cancels in-flight generation jobs cooperatively — the
 // nested annealers stop within one proposal — before draining HTTP.
 //
+// A spec with "portfolio": K (2..8) asks for a structure portfolio: K
+// members generated from derived seeds as K parallel scheduler jobs, then
+// served as one entry that routes every query to the covering member with
+// the smallest instantiated area and falls back to the backup only when
+// no member covers it. Members share cache keys, store files, and jobs
+// with identical single-structure specs; with -store-dir the grouping is
+// recorded in the manifest and warm-starts like any structure.
+//
 // Endpoints:
 //
 //	GET    /healthz          liveness probe + job queue counts
@@ -45,6 +53,8 @@
 //	curl -s -X POST localhost:8723/v1/instantiate \
 //	  -d '{"spec":{"circuit":"TwoStageOpamp","seed":1,"effort":"quick"},
 //	       "queries":[{"ws":[20,16,12,24,18],"hs":[10,8,7,12,18]}]}'
+//	curl -s -X POST localhost:8723/v1/structures \
+//	  -d '{"circuit":"TwoStageOpamp","seed":1,"effort":"quick","portfolio":3}'
 package main
 
 import (
@@ -118,8 +128,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("warm-started %d of %d persisted structures from %s in %s",
-			n, cfg.Store.Len(), *storeDir, time.Since(start).Round(time.Millisecond))
+		log.Printf("warm-started %d cache entries from %s (%d structures + %d portfolios persisted) in %s",
+			n, *storeDir, cfg.Store.Len(), len(cfg.Store.Portfolios()),
+			time.Since(start).Round(time.Millisecond))
 	}
 
 	if interrupted := sched.Interrupted(); len(interrupted) > 0 {

@@ -376,6 +376,68 @@ func (cs *CompiledStructure) InstantiateInto(res *Result, ws, hs []int) error {
 		count, cs.Lookup(ws, hs))
 }
 
+// InstantiateCoveredInto answers only from stored placements: when the
+// unique covering placement exists its anchors are written into res
+// (reusing res.X/res.Y capacity, zero allocations) and ok is true; when no
+// stored placement covers the vector it reports ok=false with res left
+// untouched — the backup is never consulted. Portfolio routing uses this
+// to probe each member without paying (or observing) member backups. An
+// eq. 5 violation or out-of-bounds dimensions return an error.
+func (cs *CompiledStructure) InstantiateCoveredInto(res *Result, ws, hs []int) (ok bool, err error) {
+	if err := cs.src.checkDims(ws, hs); err != nil {
+		return false, err
+	}
+	slot, count := cs.lookupUnique(ws, hs)
+	switch count {
+	case 0:
+		return false, nil
+	case 1:
+		off := slot * cs.n
+		res.X = appendInt32s(res.X[:0], cs.xs[off:off+cs.n])
+		res.Y = appendInt32s(res.Y[:0], cs.ys[off:off+cs.n])
+		res.PlacementID = int(cs.slotID[slot])
+		res.FromBackup = false
+		return true, nil
+	}
+	return false, fmt.Errorf("core: eq.5 violated — %d placements cover one dimension vector: %v",
+		count, cs.Lookup(ws, hs))
+}
+
+// CoveredArea reports the bounding-box area and dead space (box area minus
+// summed block areas) of instantiating the covering stored placement at
+// dims (ws, hs), without copying anchors out — the allocation-free scoring
+// probe behind best-of-K portfolio routing. ok is false when no stored
+// placement covers the vector; an eq. 5 violation or out-of-bounds
+// dimensions return an error.
+func (cs *CompiledStructure) CoveredArea(ws, hs []int) (area, dead int64, ok bool, err error) {
+	if err := cs.src.checkDims(ws, hs); err != nil {
+		return 0, 0, false, err
+	}
+	slot, count := cs.lookupUnique(ws, hs)
+	switch count {
+	case 0:
+		return 0, 0, false, nil
+	case 1:
+		off := slot * cs.n
+		minX, minY := int64(math.MaxInt64), int64(math.MaxInt64)
+		maxX, maxY := int64(math.MinInt64), int64(math.MinInt64)
+		var blocks int64
+		for i := 0; i < cs.n; i++ {
+			x, y := int64(cs.xs[off+i]), int64(cs.ys[off+i])
+			w, h := int64(ws[i]), int64(hs[i])
+			minX = min(minX, x)
+			minY = min(minY, y)
+			maxX = max(maxX, x+w)
+			maxY = max(maxY, y+h)
+			blocks += w * h
+		}
+		area = (maxX - minX) * (maxY - minY)
+		return area, area - blocks, true, nil
+	}
+	return 0, 0, false, fmt.Errorf("core: eq.5 violated — %d placements cover one dimension vector: %v",
+		count, cs.Lookup(ws, hs))
+}
+
 // spanSlots appends span s's set slots in ascending order — the id-list
 // view of the bitset, used by the v3 encoder and the row cross-check.
 func (cs *CompiledStructure) spanSlots(s int, out []int32) []int32 {

@@ -317,6 +317,92 @@ func TestCompiledConcurrentQueries(t *testing.T) {
 	}
 }
 
+// TestInstantiateCoveredInto checks the stored-placement-only query path
+// behind portfolio routing: covered queries match InstantiateInto exactly
+// and allocate nothing, uncovered queries report ok=false without ever
+// consulting the installed backup, and CoveredArea agrees with the area of
+// the anchors InstantiateCoveredInto returns.
+func TestInstantiateCoveredInto(t *testing.T) {
+	s, _ := codecStructure(t, 25)
+	s.SetBackup(fixedBackup{})
+	cs := Compile(s)
+	n := s.circuit.N()
+	rng := rand.New(rand.NewSource(11))
+	ws, hs := make([]int, n), make([]int, n)
+	var res, want Result
+	covered, uncovered := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		randomDims(s, rng, ws, hs)
+		ok, err := cs.InstantiateCoveredInto(&res, ws, hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.InstantiateInto(&want, ws, hs); err != nil {
+			t.Fatal(err)
+		}
+		area, dead, aok, err := cs.CoveredArea(ws, hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aok != ok {
+			t.Fatalf("CoveredArea ok=%v, InstantiateCoveredInto ok=%v at %v/%v", aok, ok, ws, hs)
+		}
+		if !ok {
+			uncovered++
+			if !want.FromBackup {
+				t.Fatalf("ok=false but InstantiateInto found placement %d at %v/%v", want.PlacementID, ws, hs)
+			}
+			continue
+		}
+		covered++
+		if want.FromBackup || res.PlacementID != want.PlacementID ||
+			!reflect.DeepEqual(res.X, want.X) || !reflect.DeepEqual(res.Y, want.Y) {
+			t.Fatalf("covered answer diverges at %v/%v:\ncovered  %+v\nfull     %+v", ws, hs, res, want)
+		}
+		wantArea, wantDead := bboxArea(res, ws, hs)
+		if area != wantArea || dead != wantDead {
+			t.Fatalf("CoveredArea = (%d, %d), want (%d, %d) from the returned anchors",
+				area, dead, wantArea, wantDead)
+		}
+	}
+	if covered == 0 || uncovered == 0 {
+		t.Fatalf("query stream not mixed: %d covered, %d uncovered", covered, uncovered)
+	}
+
+	// The covered probe is portfolio routing's inner loop: zero allocations.
+	p := s.Get(7)
+	for i := 0; i < n; i++ {
+		ws[i], hs[i] = p.WLo[i], p.HLo[i]
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if ok, err := cs.InstantiateCoveredInto(&res, ws, hs); err != nil || !ok {
+			t.Fatalf("covered probe: ok=%v err=%v", ok, err)
+		}
+		if _, _, ok, err := cs.CoveredArea(ws, hs); err != nil || !ok {
+			t.Fatalf("area probe: ok=%v err=%v", ok, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("covered routing probes allocate %.1f objects per query, want 0", allocs)
+	}
+}
+
+// bboxArea computes a result's bounding-box area and dead space from its
+// anchors and the queried dimensions — the reference for CoveredArea.
+func bboxArea(res Result, ws, hs []int) (area, dead int64) {
+	minX, minY := int64(1<<62), int64(1<<62)
+	maxX, maxY := int64(-1<<62), int64(-1<<62)
+	var blocks int64
+	for i := range res.X {
+		x, y, w, h := int64(res.X[i]), int64(res.Y[i]), int64(ws[i]), int64(hs[i])
+		minX, minY = min(minX, x), min(minY, y)
+		maxX, maxY = max(maxX, x+w), max(maxY, y+h)
+		blocks += w * h
+	}
+	area = (maxX - minX) * (maxY - minY)
+	return area, area - blocks
+}
+
 // FuzzCompiledLookup is the differential fuzzer of the CI smoke step:
 // whatever structure Load accepts, the compiled index must answer
 // arbitrary dimension vectors exactly as the interval rows do.

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/rand"
+
+	"mps/internal/placement"
 )
 
 // This file implements the coverage metrics of §3.1.4: the Placement
@@ -16,20 +18,48 @@ import (
 // by stored placements, in [0, 1]. For high-dimensional circuits the value
 // is extremely small (DESIGN.md D7); callers wanting a human-readable
 // growth signal can use CoverageLog2 or Monte-Carlo hit rates.
+//
+// The per-placement fraction is accumulated in log2 space rather than as a
+// running product of per-node fractions: interval lengths are taken as
+// float64 differences (immune to the int overflow Interval.Len hits when a
+// designer range approaches MaxInt, which used to flip fractions negative
+// and silently corrupt the TargetCoverage stop condition), and a product of
+// hundreds of sub-1 factors cannot underflow to zero mid-way on large
+// circuits. See TestCoverageWideRangeNoOverflow.
 func (s *Structure) Coverage() float64 {
-	total := 0.0
+	// log-sum-exp over per-placement log2 volume fractions, the same
+	// pattern as CoverageLog2 — two passes over the placements (max, then
+	// sum) so the explorer's per-iteration stop check allocates nothing.
+	lgFrac := func(p *placement.Placement) float64 {
+		lg := 0.0
+		for i, b := range s.circuit.Blocks {
+			lg += math.Log2(p.WIv(i).LenFloat()) - math.Log2(b.WRange().LenFloat())
+			lg += math.Log2(p.HIv(i).LenFloat()) - math.Log2(b.HRange().LenFloat())
+		}
+		return lg
+	}
+	maxLg := math.Inf(-1)
 	for _, p := range s.placements {
 		if p == nil {
 			continue
 		}
-		frac := 1.0
-		for i, b := range s.circuit.Blocks {
-			frac *= float64(p.WIv(i).Len()) / float64(b.WRange().Len())
-			frac *= float64(p.HIv(i).Len()) / float64(b.HRange().Len())
+		if lg := lgFrac(p); lg > maxLg {
+			maxLg = lg
 		}
-		total += frac
 	}
-	return total
+	if math.IsInf(maxLg, -1) {
+		return 0 // no placements, or only empty boxes (unreachable once stored)
+	}
+	sum := 0.0
+	for _, p := range s.placements {
+		if p == nil {
+			continue
+		}
+		if lg := lgFrac(p); !math.IsInf(lg, -1) {
+			sum += math.Exp2(lg - maxLg)
+		}
+	}
+	return math.Exp2(maxLg + math.Log2(sum))
 }
 
 // CoverageLog2 returns log2 of the total covered volume in dimension-vector
@@ -62,7 +92,10 @@ func (s *Structure) CoverageLog2() float64 {
 
 // CoverageMonteCarlo estimates the covered fraction by sampling uniform
 // random dimension vectors and reporting the hit rate. It cross-checks
-// Coverage and doubles as a query fuzzer in tests.
+// Coverage and doubles as a query fuzzer in tests. Dimensions draw via
+// Interval.Rand, so designer ranges wide enough to overflow hi-lo+1 — the
+// same unvalidated-circuit regime the log2-space Coverage guards — sample
+// instead of panicking in rand.Intn.
 func (s *Structure) CoverageMonteCarlo(rng *rand.Rand, samples int) float64 {
 	if samples <= 0 {
 		return 0
@@ -73,8 +106,8 @@ func (s *Structure) CoverageMonteCarlo(rng *rand.Rand, samples int) float64 {
 	hits := 0
 	for k := 0; k < samples; k++ {
 		for i, b := range s.circuit.Blocks {
-			ws[i] = b.WMin + rng.Intn(b.WMax-b.WMin+1)
-			hs[i] = b.HMin + rng.Intn(b.HMax-b.HMin+1)
+			ws[i] = b.WRange().Rand(rng)
+			hs[i] = b.HRange().Rand(rng)
 		}
 		if _, count := s.lookupUnique(ws, hs); count > 0 {
 			hits++

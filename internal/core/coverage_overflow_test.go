@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mps/internal/geom"
+	"mps/internal/netlist"
+	"mps/internal/placement"
+)
+
+// wideCircuit hand-builds a circuit whose designer ranges start at 0 and
+// span the whole int range. netlist.Validate would reject WMin 0 — but
+// NewStructure never validates, so a caller constructing circuits directly
+// reaches Coverage with interval lengths whose hi-lo+1 overflows int.
+func wideCircuit() *netlist.Circuit {
+	return &netlist.Circuit{
+		Name: "wide",
+		Blocks: []*netlist.Block{
+			{Name: "a", WMin: 0, WMax: math.MaxInt, HMin: 0, HMax: math.MaxInt},
+		},
+	}
+}
+
+// TestCoverageWideRangeNoOverflow is the regression test for the interval
+// length overflow in Coverage: a range [0, MaxInt] has MaxInt+1 integers,
+// which wraps to MinInt in int arithmetic. The pre-fix code divided by
+// that negative length, flipping a half-covering placement's fraction to
+// roughly -1 and silently corrupting the TargetCoverage stop condition
+// (Coverage >= target could never fire). The log2-space rewrite computes
+// lengths in float64 and must report ~0.5.
+func TestCoverageWideRangeNoOverflow(t *testing.T) {
+	c := wideCircuit()
+	fp := geom.NewRect(0, 0, math.MaxInt, math.MaxInt)
+	s := NewStructure(c, fp)
+
+	half := math.MaxInt/2 - 1
+	p := &placement.Placement{
+		ID: -1,
+		X:  []int{0}, Y: []int{0},
+		WLo: []int{0}, WHi: []int{half}, // ~half the width range
+		HLo: []int{0}, HHi: []int{math.MaxInt}, // the full height range
+	}
+	if _, err := s.store(p); err != nil {
+		t.Fatal(err)
+	}
+
+	got := s.Coverage()
+	if got < 0 {
+		t.Fatalf("Coverage = %g, negative — interval length overflowed", got)
+	}
+	if got < 0.49 || got > 0.51 {
+		t.Errorf("Coverage = %g, want ~0.5 for a half-width box", got)
+	}
+
+	// The Monte-Carlo estimator shares the wide-range regime: it must
+	// sample (Interval.Rand) rather than panic in rand.Intn on the
+	// overflowing span, and roughly agree with the exact value.
+	mc := s.CoverageMonteCarlo(rand.New(rand.NewSource(2)), 4000)
+	if diff := mc - got; diff < -0.05 || diff > 0.05 {
+		t.Errorf("CoverageMonteCarlo = %g on the wide-range circuit, exact %g", mc, got)
+	}
+}
+
+// TestCoverageMatchesProduct cross-checks the log2-space Coverage against
+// the direct sum-of-fraction-products it replaced, on a circuit small
+// enough for the products to be exact: the rewrite must change the
+// numerics' robustness, not their value.
+func TestCoverageMatchesProduct(t *testing.T) {
+	c, fp := pairCircuit()
+	s := NewStructure(c, fp)
+	if _, err := s.Insert(mk(1, [2]int{1, 25}, full(), [2]int{1, 40}, full())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(mk(1, [2]int{60, 80}, [2]int{5, 30}, full(), full())); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, id := range s.IDs() {
+		p := s.Get(id)
+		frac := 1.0
+		for i, b := range c.Blocks {
+			frac *= float64(p.WIv(i).Len()) / float64(b.WRange().Len())
+			frac *= float64(p.HIv(i).Len()) / float64(b.HRange().Len())
+		}
+		want += frac
+	}
+	got := s.Coverage()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Coverage = %g, product cross-check = %g", got, want)
+	}
+}
+
+// TestLog2BoxVolumeWideRange pins the companion fix in
+// placement.Log2BoxVolume: a validity box spanning [0, MaxInt] must report
+// a finite positive log2 volume, not the NaN that int-length overflow
+// produced.
+func TestLog2BoxVolumeWideRange(t *testing.T) {
+	p := &placement.Placement{
+		ID: -1,
+		X:  []int{0}, Y: []int{0},
+		WLo: []int{0}, WHi: []int{math.MaxInt},
+		HLo: []int{0}, HHi: []int{math.MaxInt},
+	}
+	lg := p.Log2BoxVolume()
+	if math.IsNaN(lg) || lg <= 0 {
+		t.Errorf("Log2BoxVolume = %g, want a finite positive value (~126)", lg)
+	}
+}

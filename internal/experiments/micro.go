@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mps/internal/core"
+	"mps/internal/portfolio"
 	"mps/internal/stats"
 	"mps/internal/store"
 )
@@ -42,7 +43,8 @@ type BenchReport struct {
 
 // RunMicro benchmarks the serving stack's critical operations — quick
 // generation, instantiation through the tree and compiled query paths
-// (mixed and covered-only workloads), and both on-disk codecs — via
+// (mixed and covered-only workloads), best-of-K portfolio routing (the
+// covered routed op is the 0 allocs/op gate), and both on-disk codecs — via
 // testing.Benchmark, renders a table to w, and returns the rows for
 // WriteBenchJSON. The quick-effort budgets keep a full run in the tens of
 // seconds, small enough for CI, and every op is deterministic in
@@ -71,6 +73,36 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 	cws, chs := CoveredQueryPool(s, rng, batchSize)
 	if cws == nil {
 		return nil, fmt.Errorf("experiments: benchmark structure has no placements to query")
+	}
+
+	// A K=3 portfolio sharing s as member 0 (MemberSeed(seed, 0) == seed),
+	// plus a covered routed query pool drawn from every member's boxes, so
+	// the routed op exercises all K indices without ever touching a
+	// backup — the 0 allocs/op sentinel for best-of-K routing.
+	members := []*core.Structure{s}
+	for i := 1; i < 3; i++ {
+		m, _, err := GenerateForBenchmark("TwoStageOpamp", EffortQuick, portfolio.MemberSeed(seed, i))
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	pf, err := portfolio.New(members)
+	if err != nil {
+		return nil, err
+	}
+	pws := make([][]int, batchSize)
+	phs := make([][]int, batchSize)
+	for m := range members {
+		mws, mhs := CoveredQueryPool(members[m], rng, (batchSize+2)/3)
+		if mws == nil {
+			return nil, fmt.Errorf("experiments: portfolio member %d has no placements to query", m)
+		}
+		for j := range mws {
+			if idx := j*3 + m; idx < batchSize {
+				pws[idx], phs[idx] = mws[j], mhs[j]
+			}
+		}
 	}
 	var v2 bytes.Buffer
 	if err := s.SaveBinary(&v2); err != nil {
@@ -131,6 +163,29 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 			for i := 0; i < b.N; i++ {
 				q := i % batchSize
 				if err := cs.InstantiateInto(&res, cws[q], chs[q]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// Best-of-K routing on covered queries: K CoveredArea probes plus
+		// one InstantiateCoveredInto, all against compiled indices — the
+		// CI gate pins this at exactly 0 allocs/op.
+		{"portfolio_route_covered/TwoStageOpamp", func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				q := i % batchSize
+				if member, err := pf.InstantiateInto(&res, pws[q], phs[q]); err != nil || member < 0 {
+					b.Fatalf("member %d, err %v", member, err)
+				}
+			}
+		}},
+		// The portfolio twin of instantiate_compiled: the mixed
+		// covered/backup stream through best-of-K routing.
+		{"portfolio_mixed/TwoStageOpamp", func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				q := i % batchSize
+				if _, err := pf.InstantiateInto(&res, ws[q], hs[q]); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMeasurePortfolio pins the study's invariants on a quick-effort
+// K=2 circ01 portfolio: merged coverage at least member 0's, sane means,
+// and placements summed across members.
+func TestMeasurePortfolio(t *testing.T) {
+	p, err := GeneratePortfolioForBenchmark("circ01", EffortQuick, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := measurePortfolio("circ01", p, 1)
+	if row.CoverageK < row.CoverageK1 {
+		t.Errorf("merged coverage %.4f below member 0's %.4f", row.CoverageK, row.CoverageK1)
+	}
+	if row.Placements != p.NumPlacements() || row.K != 2 {
+		t.Errorf("row %+v does not describe the portfolio (placements %d, K 2)", row, p.NumPlacements())
+	}
+	if row.MeanCostK1 <= 0 || row.MeanCostK <= 0 || row.MeanAreaK1 <= 0 || row.MeanAreaK <= 0 {
+		t.Errorf("non-positive means: %+v", row)
+	}
+}
+
+// TestRunPortfolioRenders smoke-tests the table path on the study set at
+// quick effort (seconds-scale).
+func TestRunPortfolioRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates four quick portfolios")
+	}
+	var buf bytes.Buffer
+	rows, err := RunPortfolio(&buf, EffortQuick, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(portfolioCircuits) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(portfolioCircuits))
+	}
+	for _, row := range rows {
+		if row.CoverageK < row.CoverageK1 {
+			t.Errorf("%s: merged coverage %.4f below member 0's %.4f", row.Circuit, row.CoverageK, row.CoverageK1)
+		}
+	}
+	if out := buf.String(); !strings.Contains(out, "cov K=3") || !strings.Contains(out, "circ01") {
+		t.Errorf("table missing expected columns:\n%s", out)
+	}
+}

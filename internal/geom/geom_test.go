@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -358,4 +359,56 @@ func TestOverlapsEquivalentToNonEmptyIntersect(t *testing.T) {
 			t.Fatalf("Overlaps/Intersect disagree for %v and %v", a, b)
 		}
 	}
+}
+
+func TestIntervalLenFloat(t *testing.T) {
+	if got := NewInterval(3, 7).LenFloat(); got != 5 {
+		t.Errorf("LenFloat = %g, want 5", got)
+	}
+	if got := NewInterval(5, 4).LenFloat(); got != 0 {
+		t.Errorf("empty LenFloat = %g, want 0", got)
+	}
+	// The overflow case Len cannot represent: [0, MaxInt] has MaxInt+1
+	// integers; Len wraps negative, LenFloat must stay ~2^63.
+	wide := NewInterval(0, math.MaxInt)
+	if wide.Len() >= 0 {
+		t.Fatalf("test premise broken: Len = %d did not overflow", wide.Len())
+	}
+	if got, want := wide.LenFloat(), math.Exp2(63); got != want {
+		t.Errorf("wide LenFloat = %g, want %g", got, want)
+	}
+}
+
+func TestIntervalRand(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	iv := NewInterval(10, 14)
+	seen := map[int]bool{}
+	for k := 0; k < 200; k++ {
+		v := iv.Rand(rng)
+		if !iv.Contains(v) {
+			t.Fatalf("Rand drew %d outside %v", v, iv)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("200 draws hit %d of 5 values", len(seen))
+	}
+	// Point interval.
+	if v := NewInterval(9, 9).Rand(rng); v != 9 {
+		t.Errorf("point Rand = %d, want 9", v)
+	}
+	// Overflowing span: lo+Intn(hi-lo+1) would panic; Rand must draw an
+	// in-bounds value.
+	wide := NewInterval(0, math.MaxInt)
+	for k := 0; k < 100; k++ {
+		if v := wide.Rand(rng); v < 0 {
+			t.Fatalf("wide Rand drew %d outside %v", v, wide)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Rand on an empty interval did not panic")
+		}
+	}()
+	NewInterval(5, 4).Rand(rng)
 }

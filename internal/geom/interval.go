@@ -1,6 +1,9 @@
 package geom
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Interval is an inclusive integer interval [Lo, Hi], matching the paper's
 // [wstart, wend] / [hstart, hend] dimension ranges. An Interval with
@@ -21,6 +24,33 @@ func (iv Interval) Len() int {
 		return 0
 	}
 	return iv.Hi - iv.Lo + 1
+}
+
+// LenFloat returns the number of integers in iv computed in float64, so
+// intervals spanning most of the int range cannot overflow the way
+// Hi-Lo+1 does in int arithmetic. Coverage and box-volume math use this.
+func (iv Interval) LenFloat() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return float64(iv.Hi) - float64(iv.Lo) + 1
+}
+
+// Rand returns a uniform random value in iv. Unlike the naive
+// lo+Intn(hi-lo+1) pattern it tolerates ranges whose span overflows int64
+// (e.g. [0, MaxInt]): those draw from the first 2^63-1 values of the
+// range — in-bounds and near-uniform, which is all a Monte-Carlo
+// estimator needs, instead of panicking in Intn. Rand panics on an empty
+// interval, which has no value to return.
+func (iv Interval) Rand(rng *rand.Rand) int {
+	if iv.Empty() {
+		panic(fmt.Sprintf("geom: Rand on empty interval %v", iv))
+	}
+	span := int64(iv.Hi) - int64(iv.Lo) + 1
+	if span <= 0 { // true span exceeds MaxInt64
+		return iv.Lo + int(rng.Int63())
+	}
+	return iv.Lo + int(rng.Int63n(span))
 }
 
 // Contains reports whether v lies in iv.

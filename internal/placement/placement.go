@@ -185,11 +185,14 @@ func (p *Placement) BoxEmpty() bool {
 func (p *Placement) Log2BoxVolume() float64 {
 	var lg float64
 	for i := range p.X {
-		wl, hl := p.WIv(i).Len(), p.HIv(i).Len()
+		// LenFloat, not Len: int interval lengths overflow for validity
+		// intervals spanning most of the int range, turning the log of a
+		// huge box into NaN.
+		wl, hl := p.WIv(i).LenFloat(), p.HIv(i).LenFloat()
 		if wl == 0 || hl == 0 {
 			return math.Inf(-1)
 		}
-		lg += math.Log2(float64(wl)) + math.Log2(float64(hl))
+		lg += math.Log2(wl) + math.Log2(hl)
 	}
 	return lg
 }

@@ -1,0 +1,278 @@
+// Package portfolio implements structure portfolios: K independently
+// generated multi-placement structures for one circuit, queried as a
+// single logical artifact. A lone structure covers only a fraction of the
+// (w,h) dimension space and falls back to a template placement everywhere
+// else (Badaoui & Vemuri 2005, §3.1.4), so query quality is bimodal —
+// near-optimal on covered space, mediocre off it. Members generated with
+// different seeds cover different regions; a portfolio merges their
+// coverage and, where regions overlap, picks the best placement among the
+// covering members (best-of-K candidate selection, after Grus & Hanzálek
+// 2024's pick-the-best framing of analog placement).
+//
+// # Routing rule
+//
+// A query is probed against every member's compiled index
+// (CompiledStructure.CoveredArea — stored placements only, backups never
+// answer a probe). Among covering members the winner has the smallest
+// instantiated bounding-box area, ties broken by smallest dead space
+// (box area minus summed block areas), then by lowest member index so
+// routing is deterministic. Only when no member covers the query does the
+// portfolio fall back — to member 0's installed backup, exactly the
+// single-structure fallback semantics.
+//
+// # Concurrency
+//
+// A Portfolio is immutable after New and safe for any number of
+// concurrent readers: it only reads the members' compiled indices, which
+// are themselves safe for concurrent queries. Covered queries through
+// InstantiateInto allocate nothing.
+package portfolio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mps/internal/core"
+	"mps/internal/netlist"
+)
+
+// MaxMembers bounds K. Routing cost is linear in K, so huge portfolios
+// would quietly erode the paper's near-constant instantiation time; the
+// coverage win also flattens quickly (members overlap more as K grows).
+const MaxMembers = 16
+
+// MemberSeed derives member i's generation seed from a portfolio's base
+// seed. The stride is a large prime distinct from the explorer's per-chain
+// stride (7919), so member streams never collide with chain streams of a
+// neighboring seed. Every layer that names portfolio members (facade,
+// serving, benchmarks) derives seeds through this one rule, which is what
+// lets a member generated for a portfolio be deduplicated against the same
+// single-structure spec.
+func MemberSeed(seed int64, i int) int64 { return seed + int64(i)*104729 }
+
+// Portfolio holds K compiled member structures for one circuit and routes
+// each query to the best covering member.
+type Portfolio struct {
+	circuit  *netlist.Circuit
+	members  []*core.Structure
+	compiled []*core.CompiledStructure
+}
+
+// Result is one portfolio instantiation: the winning member's placement
+// answer plus which member produced it.
+type Result struct {
+	core.Result
+	// Member is the index of the member that answered, or -1 when no
+	// member covered the query and the backup answered. PlacementID is
+	// member-local: it identifies a placement within Member's structure.
+	Member int
+}
+
+// New builds a portfolio over the given member structures. Members must be
+// fully generated (or loaded) structures for the same circuit; their
+// compiled indices are materialized here so no query ever pays compile
+// cost. The member order is preserved — it is the routing tie-break and
+// member 0's backup is the uncovered-space fallback.
+func New(members []*core.Structure) (*Portfolio, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("portfolio: no members")
+	}
+	if len(members) > MaxMembers {
+		return nil, fmt.Errorf("portfolio: %d members exceeds the maximum %d", len(members), MaxMembers)
+	}
+	for i, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("portfolio: member %d is nil", i)
+		}
+	}
+	c := members[0].Circuit()
+	p := &Portfolio{
+		circuit:  c,
+		members:  append([]*core.Structure(nil), members...),
+		compiled: make([]*core.CompiledStructure, len(members)),
+	}
+	for i, m := range members {
+		if err := sameCircuit(c, m.Circuit()); err != nil {
+			return nil, fmt.Errorf("portfolio: member %d: %w", i, err)
+		}
+		p.compiled[i] = core.Compile(m)
+	}
+	return p, nil
+}
+
+// sameCircuit checks that two circuit values describe the same topology
+// for routing purposes: same name, block count, and designer dimension
+// bounds. Members loaded from disk carry distinct *Circuit values for the
+// same benchmark, so pointer identity is deliberately not required.
+func sameCircuit(a, b *netlist.Circuit) error {
+	if a == b {
+		return nil
+	}
+	if a.Name != b.Name || a.N() != b.N() {
+		return fmt.Errorf("circuit %q (%d blocks) does not match portfolio circuit %q (%d blocks)",
+			b.Name, b.N(), a.Name, a.N())
+	}
+	for i := range a.Blocks {
+		ab, bb := a.Blocks[i], b.Blocks[i]
+		if ab.WMin != bb.WMin || ab.WMax != bb.WMax || ab.HMin != bb.HMin || ab.HMax != bb.HMax {
+			return fmt.Errorf("block %d designer bounds differ (%v/%v vs %v/%v)",
+				i, ab.WRange(), ab.HRange(), bb.WRange(), bb.HRange())
+		}
+	}
+	return nil
+}
+
+// K returns the member count.
+func (p *Portfolio) K() int { return len(p.members) }
+
+// Circuit returns the topology the portfolio answers for.
+func (p *Portfolio) Circuit() *netlist.Circuit { return p.circuit }
+
+// Member returns member i's structure.
+func (p *Portfolio) Member(i int) *core.Structure { return p.members[i] }
+
+// Members returns the member structures in routing order. The slice is a
+// copy; the structures are shared.
+func (p *Portfolio) Members() []*core.Structure {
+	return append([]*core.Structure(nil), p.members...)
+}
+
+// NumPlacements returns the total stored placements across members.
+func (p *Portfolio) NumPlacements() int {
+	total := 0
+	for _, m := range p.members {
+		total += m.NumPlacements()
+	}
+	return total
+}
+
+// Route returns the member the query routes to under the best-of-K rule
+// (smallest area, then smallest dead space, then lowest index), or -1 when
+// no member covers the query. It is the scoring pass of InstantiateInto,
+// exposed for tests and coverage studies.
+func (p *Portfolio) Route(ws, hs []int) (member int, err error) {
+	member, _, _, err = p.route(ws, hs)
+	return member, err
+}
+
+// route scores every member and returns the winner with its area and dead
+// space. Zero allocations: probes go through CoveredArea.
+func (p *Portfolio) route(ws, hs []int) (member int, area, dead int64, err error) {
+	member = -1
+	for m, cs := range p.compiled {
+		a, d, ok, err := cs.CoveredArea(ws, hs)
+		if err != nil {
+			return -1, 0, 0, err
+		}
+		if !ok {
+			continue
+		}
+		if member < 0 || a < area || (a == area && d < dead) {
+			member, area, dead = m, a, d
+		}
+	}
+	return member, area, dead, nil
+}
+
+// Instantiate answers a placement request through the best covering
+// member, falling back to member 0's backup when no member covers the
+// dimensions.
+func (p *Portfolio) Instantiate(ws, hs []int) (Result, error) {
+	var res Result
+	m, err := p.InstantiateInto(&res.Result, ws, hs)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Member = m
+	return res, nil
+}
+
+// InstantiateInto is Instantiate writing into res, reusing res.X and res.Y
+// capacity — the zero-allocation serving hot path for covered queries
+// (backup answers allocate in the backup, as with a single structure). It
+// returns the answering member's index, -1 for the backup. On error res is
+// left unspecified.
+func (p *Portfolio) InstantiateInto(res *core.Result, ws, hs []int) (member int, err error) {
+	member, _, _, err = p.route(ws, hs)
+	if err != nil {
+		return -1, err
+	}
+	if member >= 0 {
+		ok, err := p.compiled[member].InstantiateCoveredInto(res, ws, hs)
+		if err != nil {
+			return -1, err
+		}
+		if !ok { // unreachable: route just observed coverage
+			return -1, fmt.Errorf("portfolio: member %d lost coverage between probe and answer", member)
+		}
+		return member, nil
+	}
+	// No member covers: member 0's backup is the portfolio's fallback,
+	// mirroring single-structure semantics (ErrUncovered when no backup is
+	// installed).
+	if err := p.compiled[0].InstantiateInto(res, ws, hs); err != nil {
+		return -1, err
+	}
+	return -1, nil
+}
+
+// SampleCoverage estimates covered fractions by Monte-Carlo over uniform
+// random dimension vectors: the merged (union) hit rate plus each member's
+// individual hit rate, all measured on the same sample stream so they are
+// directly comparable — the union can never come out below a member by
+// sampling noise alone. It is a reporting estimator for well-formed
+// members: a probe error (an eq.5 invariant violation, impossible for
+// generated or loaded structures) counts as a miss here, while the query
+// path (Route/InstantiateInto) surfaces the same violation as an error.
+func (p *Portfolio) SampleCoverage(rng *rand.Rand, samples int) (union float64, member []float64) {
+	member = make([]float64, len(p.members))
+	if samples <= 0 {
+		return 0, member
+	}
+	n := p.circuit.N()
+	ws := make([]int, n)
+	hs := make([]int, n)
+	hits := 0
+	memberHits := make([]int, len(p.members))
+	for k := 0; k < samples; k++ {
+		// Interval.Rand, not lo+Intn(len): wide unvalidated designer
+		// ranges must sample, not panic (see core.CoverageMonteCarlo).
+		for i, b := range p.circuit.Blocks {
+			ws[i] = b.WRange().Rand(rng)
+			hs[i] = b.HRange().Rand(rng)
+		}
+		hit := false
+		for m, cs := range p.compiled {
+			if _, _, ok, _ := cs.CoveredArea(ws, hs); ok {
+				memberHits[m]++
+				hit = true
+			}
+		}
+		if hit {
+			hits++
+		}
+	}
+	for m, h := range memberHits {
+		member[m] = float64(h) / float64(samples)
+	}
+	return float64(hits) / float64(samples), member
+}
+
+// CoverageMonteCarlo estimates the merged covered fraction — the
+// probability a uniform random query is answered by some member rather
+// than the backup.
+func (p *Portfolio) CoverageMonteCarlo(rng *rand.Rand, samples int) float64 {
+	union, _ := p.SampleCoverage(rng, samples)
+	return union
+}
+
+// MemberCoverage returns each member's exact covered volume fraction
+// (core.Structure.Coverage). The union has no cheap exact form — member
+// boxes overlap across members — which is what SampleCoverage estimates.
+func (p *Portfolio) MemberCoverage() []float64 {
+	out := make([]float64, len(p.members))
+	for i, m := range p.members {
+		out[i] = m.Coverage()
+	}
+	return out
+}

@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -168,18 +169,41 @@ type entry struct {
 	ready chan struct{}
 	// jobID is the scheduler job producing (or having produced) this
 	// entry; written under the server mutex in startWork, "" until then.
-	jobID string
+	// Portfolio entries have no job of their own while members generate:
+	// jobID stays "" until fan-in records the born-done portfolio job,
+	// and memberJobIDs (written under the server mutex during fan-out)
+	// names the K member jobs doing the actual annealing.
+	jobID        string
+	memberJobIDs []string
 
 	// done and the fields below are written exactly once, under the
-	// server mutex, when generation finishes. placements and coverage
-	// snapshot the structure at publish time so listing the cache never
-	// walks structure internals while holding the global mutex.
+	// server mutex, when generation finishes. Exactly one of s and p is
+	// set on success: s for single-structure specs, p for portfolio
+	// specs. placements and coverage snapshot the artifact at publish
+	// time so listing the cache never walks structure internals while
+	// holding the global mutex.
 	done       bool
 	s          *mps.Structure
+	p          *mps.Portfolio
 	stats      mps.Stats
 	placements int
 	coverage   float64
 	err        error
+}
+
+// batcher is the query surface shared by structures and portfolios — all
+// the instantiate handler needs from either.
+type batcher interface {
+	InstantiateBatchWorkers(queries []mps.DimQuery, workers int) []mps.BatchResult
+}
+
+// batcher returns the entry's query surface. Only valid on a successfully
+// published entry.
+func (e *entry) batcher() batcher {
+	if e.p != nil {
+		return e.p
+	}
+	return e.s
 }
 
 // New returns a Server ready to serve. The server owns its job scheduler
@@ -216,6 +240,14 @@ func (s *Server) Jobs() *jobs.Scheduler { return s.sched }
 
 // GenerateSpec identifies a structure: the circuit plus every Generate
 // option that affects the result. It doubles as the cache key source.
+//
+// Portfolio > 1 asks for a K-member structure portfolio instead of a
+// single structure: member i is the single-structure spec with Seed =
+// mps.PortfolioMemberSeed(Seed, i) and Portfolio folded away, each member
+// generated as its own scheduler job (fan-out) and the portfolio published
+// once all K land (fan-in). Member specs are ordinary cache/store/job
+// citizens, so members deduplicate against identical single-structure
+// requests and against other portfolios sharing a member.
 type GenerateSpec struct {
 	Circuit       string `json:"circuit"`
 	Seed          int64  `json:"seed"`
@@ -225,6 +257,9 @@ type GenerateSpec struct {
 	Chains        int    `json:"chains,omitempty"`
 	MaxPlacements int    `json:"max_placements,omitempty"`
 	Backup        string `json:"backup,omitempty"` // tree | seqpair
+	// Portfolio is the member count K; 0 and 1 both mean a single
+	// structure (and share one cache key).
+	Portfolio int `json:"portfolio,omitempty"`
 }
 
 // normalize validates the spec and fills implied defaults so equivalent
@@ -253,13 +288,20 @@ func (g *GenerateSpec) normalize() error {
 	if g.Iterations < 0 || g.BDIOSteps < 0 || g.Chains < 0 || g.MaxPlacements < 0 {
 		return fmt.Errorf("negative budget")
 	}
+	if g.Portfolio < 0 {
+		return fmt.Errorf("negative portfolio size")
+	}
 	// Canonicalize the 0-means-default budget fields so provably identical
 	// specs share one cache key (and one generation run): resolve effort
-	// presets into concrete budgets and fold chains 0 to the single chain
-	// the explorer runs anyway.
+	// presets into concrete budgets, fold chains 0 to the single chain the
+	// explorer runs anyway, and fold portfolio 0 to the single structure
+	// it already means.
 	g.Iterations, g.BDIOSteps = g.options().Budgets()
 	if g.Chains == 0 {
 		g.Chains = 1
+	}
+	if g.Portfolio == 0 {
+		g.Portfolio = 1
 	}
 	return nil
 }
@@ -267,10 +309,27 @@ func (g *GenerateSpec) normalize() error {
 // key derives the cache key from the fields that affect the generated
 // structure. Effort is deliberately absent: normalize resolved it into
 // concrete Iterations/BDIOSteps, so two specs differing only in how they
-// named the same budgets share one entry.
+// named the same budgets share one entry. The portfolio suffix appears
+// only for K > 1, so single-structure keys are byte-identical to what
+// pre-portfolio manifests and job files recorded.
 func (g GenerateSpec) key() string {
-	return fmt.Sprintf("%s|seed=%d|it=%d|bdio=%d|chains=%d|maxp=%d|backup=%s",
+	base := fmt.Sprintf("%s|seed=%d|it=%d|bdio=%d|chains=%d|maxp=%d|backup=%s",
 		g.Circuit, g.Seed, g.Iterations, g.BDIOSteps, g.Chains, g.MaxPlacements, g.Backup)
+	if g.Portfolio > 1 {
+		return fmt.Sprintf("%s|k=%d", base, g.Portfolio)
+	}
+	return base
+}
+
+// memberSpec derives portfolio member i's single-structure spec: the
+// shared member-seed rule plus Portfolio folded to 1, every other field
+// unchanged. Members therefore share cache keys, store files, and
+// scheduler jobs with identical single-structure specs.
+func (g GenerateSpec) memberSpec(i int) GenerateSpec {
+	m := g
+	m.Seed = mps.PortfolioMemberSeed(g.Seed, i)
+	m.Portfolio = 1
+	return m
 }
 
 // backupKind maps the spec's backup name to the facade's enum — used when
@@ -310,6 +369,12 @@ func (g GenerateSpec) options() mps.Options {
 // iteration cap — each chain is a full explorer run.
 const maxChains = 64
 
+// maxPortfolio bounds the portfolio members a request may ask for — each
+// member is a full generation job, so K multiplies the annealing work.
+// Deliberately below the library's MaxPortfolioMembers: a daemon serves
+// many clients, a library call serves one.
+const maxPortfolio = 8
+
 // checkBudget rejects generation requests whose annealing budget exceeds
 // the daemon's cap. Every path that can trigger a generation — POST
 // /v1/structures, POST /v1/instantiate with an inline spec, and the
@@ -317,6 +382,9 @@ const maxChains = 64
 func (s *Server) checkBudget(g GenerateSpec) error {
 	if g.Chains > maxChains {
 		return fmt.Errorf("chains %d exceeds daemon cap %d", g.Chains, maxChains)
+	}
+	if g.Portfolio > maxPortfolio {
+		return fmt.Errorf("portfolio size %d exceeds daemon cap %d", g.Portfolio, maxPortfolio)
 	}
 	limit := s.cfg.MaxGenerateIterations
 	if limit < 0 {
@@ -380,10 +448,15 @@ func (s *Server) ensure(spec GenerateSpec, priority int) (*entry, bool) {
 
 // startWork produces the entry's structure: a disk-store rehydration when
 // available (milliseconds, done inline so it never queues behind
-// annealing jobs), else a job submission to the scheduler. Exactly one of
-// the resulting paths — store hit, submit failure, the job's run, or the
+// annealing jobs), else a job submission to the scheduler. Portfolio
+// specs branch into the member fan-out instead. Exactly one of the
+// resulting paths — store hit, submit failure, the job's run, or the
 // job's abandon hook — calls publish, which closes e.ready.
 func (s *Server) startWork(e *entry) {
+	if e.spec.Portfolio > 1 {
+		s.startPortfolioWork(e)
+		return
+	}
 	specJSON, err := json.Marshal(e.spec)
 	if err != nil { // cannot happen for a normalized spec; fail loudly if it does
 		s.publish(e, nil, mps.Stats{}, fmt.Errorf("encoding spec: %w", err))
@@ -493,6 +566,194 @@ func (s *Server) runGeneration(ctx context.Context, spec GenerateSpec, report fu
 	return st, stats, err
 }
 
+// startPortfolioWork produces a portfolio entry: the K member specs fan
+// out synchronously through ensure — so each member is its own cache
+// entry, store read-through, and scheduler job, deduplicated against
+// identical single-structure work — and a fan-in goroutine waits for all
+// members, assembles the routing layer, and publishes. A fully persisted
+// portfolio still assembles in milliseconds (every member ensure is a
+// store read-through, no annealing) while its members land as shared
+// cache entries; there is deliberately no grouping-row fast path here,
+// because it would load private member copies and defeat that sharing —
+// the grouping row exists for Warm and listings. This is the one place
+// the scheduler runs cooperative multi-job work for a single logical
+// artifact: the K jobs proceed in parallel up to the worker-pool bound.
+func (s *Server) startPortfolioWork(e *entry) {
+	k := e.spec.Portfolio
+	members := make([]*entry, k)
+	memberIDs := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		me, _ := s.ensure(e.spec.memberSpec(i), e.priority)
+		members[i] = me
+		s.mu.Lock()
+		if me.jobID != "" {
+			memberIDs = append(memberIDs, me.jobID)
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	e.memberJobIDs = memberIDs
+	s.mu.Unlock()
+
+	// Fan-in off the caller's goroutine: member waits are generation-scale.
+	// Each member keeps this goroutine registered as a waiter until its
+	// result is read, so a member is never silently dropped mid-portfolio
+	// by some other client's disconnect.
+	go func() {
+		structures := make([]*mps.Structure, k)
+		var memberErr error
+		for i, me := range members {
+			<-me.ready
+			if me.err != nil && memberErr == nil {
+				memberErr = fmt.Errorf("portfolio member %d (%s): %w", i, me.key, me.err)
+			}
+			structures[i] = me.s
+			me.waiters.Add(-1)
+		}
+		if memberErr != nil {
+			s.publishPortfolio(e, nil, 0, memberErr)
+			return
+		}
+		p, err := mps.NewPortfolio(structures)
+		if err != nil {
+			s.publishPortfolio(e, nil, 0, err)
+			return
+		}
+		coverage := portfolioCoverage(p, e.spec.Seed)
+		if s.cfg.Store != nil {
+			s.persistWG.Add(1)
+			go func() {
+				defer s.persistWG.Done()
+				s.persistPortfolio(e.spec, p, structures, coverage)
+			}()
+		}
+		if snap, err := s.sched.RecordDone(e.key, mustSpecJSON(e.spec), jobs.Progress{
+			Placements: p.NumPlacements(),
+			Coverage:   coverage,
+		}); err == nil {
+			s.setJobID(e, snap.ID)
+		}
+		s.publishPortfolio(e, p, coverage, nil)
+	}()
+}
+
+// portfolioCoverage is the merged (union) covered fraction estimate
+// published for a portfolio. Monte-Carlo because member boxes overlap
+// across members, so the union has no cheap exact form; the seed-derived
+// rng keeps the listing deterministic for a given portfolio.
+func portfolioCoverage(p *mps.Portfolio, seed int64) float64 {
+	return p.CoverageMonteCarlo(rand.New(rand.NewSource(seed^0x706f7274)), 4096)
+}
+
+// mustSpecJSON marshals a normalized spec; by construction this cannot
+// fail (plain struct of strings and ints).
+func mustSpecJSON(spec GenerateSpec) json.RawMessage {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("serve: encoding spec: %v", err))
+	}
+	return b
+}
+
+// publishPortfolio is publish for portfolio entries. Member generation
+// stats live with the member entries; the portfolio's own stats carry the
+// merged coverage, matching what the warm path reconstructs.
+func (s *Server) publishPortfolio(e *entry, p *mps.Portfolio, coverage float64, err error) {
+	var placements int
+	var stats mps.Stats
+	if p != nil {
+		placements = p.NumPlacements()
+		stats.FinalCoverage = coverage
+	}
+	s.mu.Lock()
+	if e.done {
+		s.mu.Unlock()
+		return
+	}
+	e.p, e.stats, e.err, e.done = p, stats, err, true
+	e.placements, e.coverage = placements, coverage
+	if err != nil {
+		s.removeLocked(e)
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+	close(e.ready)
+}
+
+// loadPortfolioFromStore rehydrates a whole portfolio from the store's
+// grouping row for Warm: members come from the cache when the structure
+// warm pass already loaded them, else through the ordinary structure
+// read-through. (nil, _, nil) means "not available" — no store, no
+// grouping row, or a member that no longer loads (a cold request for the
+// spec fans out and regenerates only what is missing).
+func (s *Server) loadPortfolioFromStore(spec GenerateSpec) (*mps.Portfolio, mps.Stats, error) {
+	if s.cfg.Store == nil {
+		return nil, mps.Stats{}, nil
+	}
+	row, ok := s.cfg.Store.GetPortfolio(spec.key())
+	if !ok {
+		return nil, mps.Stats{}, nil
+	}
+	if row.K() != spec.Portfolio {
+		s.logf("store: portfolio row %s has %d members, spec wants %d (ignoring row)",
+			spec.key(), row.K(), spec.Portfolio)
+		return nil, mps.Stats{}, nil
+	}
+	members := make([]*mps.Structure, spec.Portfolio)
+	for i := range members {
+		mspec := spec.memberSpec(i)
+		// Cache first: on a warm start the structure pass (and on a cold
+		// request, earlier traffic) often holds the member already — reuse
+		// it so the portfolio shares the cached structure and its compiled
+		// index instead of decoding a second copy from disk.
+		if me, ok := s.lookup(mspec.key()); ok && me.s != nil {
+			members[i] = me.s
+			continue
+		}
+		st, _, err := s.loadFromStore(mspec)
+		if err != nil || st == nil {
+			return nil, mps.Stats{}, err
+		}
+		members[i] = st
+	}
+	p, err := mps.NewPortfolio(members)
+	if err != nil {
+		s.loadErrs.Add(1)
+		s.logf("store: assembling portfolio %s: %v (regenerating)", spec.key(), err)
+		return nil, mps.Stats{}, err
+	}
+	return p, mps.Stats{FinalCoverage: row.Coverage}, nil
+}
+
+// persistPortfolio records the portfolio grouping row, first making sure
+// every member structure is persisted: member entries persist their own
+// generations in the background, so a member may not have landed yet —
+// the duplicate Put is atomic and idempotent (same key, same filename,
+// same content). Runs off the request path under persistWG.
+func (s *Server) persistPortfolio(spec GenerateSpec, p *mps.Portfolio, members []*mps.Structure, coverage float64) {
+	memberKeys := make([]string, len(members))
+	for i, m := range members {
+		mspec := spec.memberSpec(i)
+		memberKeys[i] = mspec.key()
+		if _, ok := s.cfg.Store.Stat(memberKeys[i]); !ok {
+			s.persist(mspec, m, m.Coverage())
+		}
+	}
+	_, err := s.cfg.Store.RecordPortfolio(store.PortfolioMeta{
+		Key:        spec.key(),
+		Circuit:    spec.Circuit,
+		Seed:       spec.Seed,
+		Options:    string(mustSpecJSON(spec)),
+		Members:    memberKeys,
+		Placements: p.NumPlacements(),
+		Coverage:   coverage,
+	})
+	if err != nil {
+		s.persistErrs.Add(1)
+		s.logf("store: recording portfolio %s: %v", spec.key(), err)
+	}
+}
+
 // structureFor returns the cached structure for the spec, scheduling its
 // generation on first use and waiting for it. Concurrent callers for one
 // key share a single run. The returned bool reports a true cache hit —
@@ -510,7 +771,12 @@ func (s *Server) structureFor(ctx context.Context, spec GenerateSpec) (*entry, b
 			// Queued-but-not-started work is droppable: if the requesting
 			// client disconnects while its job is still queued and no other
 			// request shares this entry, cancel the job and fail the entry
-			// ourselves, so a later request retries. The waiter check, the
+			// ourselves, so a later request retries. Portfolio entries have
+			// no jobID until fan-in completes, so they never take this
+			// branch: their member jobs run to completion and land in the
+			// cache/store even if every portfolio client has gone — the
+			// same keep-the-work semantics as a multi-waiter entry. The
+			// waiter check, the
 			// silent job cancellation (no submitter callbacks run inside
 			// it, so holding s.mu is safe — lock order is always s.mu →
 			// scheduler), and the cancel publication share one critical
@@ -639,11 +905,12 @@ func (s *Server) persist(spec GenerateSpec, st *mps.Structure, coverage float64)
 // so finished generations are never lost to a racing exit.
 func (s *Server) Flush() { s.persistWG.Wait() }
 
-// Warm preloads up to limit structures from the disk store into the LRU,
-// newest first (limit <= 0 or above the cache size clamps to the cache
-// size). It returns how many structures were loaded; entries that fail to
-// parse or load are logged and skipped, never fatal — a warm start must
-// not keep a daemon from booting.
+// Warm preloads up to limit structures — and then up to limit portfolio
+// groupings — from the disk store into the LRU, newest first (limit <= 0
+// or above the cache size clamps to the cache size). It returns how many
+// cache entries were loaded; entries that fail to parse or load are
+// logged and skipped, never fatal — a warm start must not keep a daemon
+// from booting.
 func (s *Server) Warm(limit int) (int, error) {
 	if s.cfg.Store == nil {
 		return 0, fmt.Errorf("serve: no store configured")
@@ -700,7 +967,64 @@ func (s *Server) Warm(limit int) (int, error) {
 		}
 		s.mu.Unlock()
 	}
+	// Portfolios get their own budget of the same size: a store holding
+	// limit structures must not starve every grouping row (the LRU may
+	// transiently evict the coldest warmed structures to make room, which
+	// is the right trade — a portfolio entry answers for K members).
+	loaded += s.warmPortfolios(limit)
 	return loaded, nil
+}
+
+// warmPortfolios preloads up to limit portfolios from the store's grouping
+// rows, newest first. Member structures come from the cache when the
+// structure pass just loaded them, else through the ordinary
+// read-through; rows that fail to parse or whose members no longer load
+// are logged and skipped, never fatal.
+func (s *Server) warmPortfolios(limit int) int {
+	loaded := 0
+	for _, row := range s.cfg.Store.Portfolios() {
+		if loaded >= limit {
+			break
+		}
+		var spec GenerateSpec
+		if err := json.Unmarshal([]byte(row.Options), &spec); err != nil {
+			s.logf("warm: portfolio options for %s: %v", row.Key, err)
+			continue
+		}
+		if err := spec.normalize(); err != nil {
+			s.logf("warm: portfolio spec for %s: %v", row.Key, err)
+			continue
+		}
+		if spec.key() != row.Key {
+			s.logf("warm: portfolio manifest key %s does not match its spec (key drift)", row.Key)
+			continue
+		}
+		p, stats, err := s.loadPortfolioFromStore(spec)
+		if err != nil || p == nil {
+			continue // already logged and counted where it failed
+		}
+		e := &entry{key: row.Key, spec: spec, ready: make(chan struct{})}
+		e.p, e.stats, e.done = p, stats, true
+		e.placements = p.NumPlacements()
+		e.coverage = row.Coverage
+		e.start.Do(func() {})
+		close(e.ready)
+		if snap, err := s.sched.RecordDone(row.Key, []byte(row.Options), jobs.Progress{
+			Placements: e.placements,
+			Coverage:   e.coverage,
+		}); err == nil {
+			e.jobID = snap.ID
+		}
+		s.mu.Lock()
+		if _, exists := s.cache[row.Key]; !exists {
+			e.elem = s.order.PushBack(e)
+			s.cache[row.Key] = e
+			s.evictLocked()
+			loaded++
+		}
+		s.mu.Unlock()
+	}
+	return loaded
 }
 
 // ResumeInterrupted resubmits generation jobs that a previous process
@@ -997,7 +1321,31 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	defer e.waiters.Add(-1)
 	s.mu.Lock()
 	id := e.jobID
+	memberIDs := append([]string(nil), e.memberJobIDs...)
 	s.mu.Unlock()
+	// Portfolio submissions with members still generating have no job of
+	// their own yet (fan-in records it when all K land): answer with the
+	// member jobs, which carry the live progress a client can poll.
+	if spec.Portfolio > 1 && id == "" {
+		members := make([]JobInfo, 0, len(memberIDs))
+		done := 0
+		for _, mid := range memberIDs {
+			if snap, ok := s.sched.Get(mid); ok {
+				if snap.State.Terminal() {
+					done++
+				}
+				members = append(members, s.jobInfo(snap))
+			}
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"key":          e.key,
+			"spec":         spec,
+			"portfolio":    spec.Portfolio,
+			"members_done": done,
+			"members":      members,
+		})
+		return
+	}
 	snap, ok := s.sched.Get(id)
 	if !ok {
 		// No job backs the entry: its submission failed (scheduler closed)
@@ -1084,11 +1432,15 @@ type dimQuery struct {
 }
 
 // queryResult is one query's answer. Error is set instead of anchors when
-// the query itself was invalid (e.g. out-of-bounds dimensions).
+// the query itself was invalid (e.g. out-of-bounds dimensions). Member is
+// the portfolio member that answered (-1 when the backup did); for
+// single-structure entries it is 0 on stored answers, so placement_id is
+// always member-local to member. See mps.BatchResult.
 type queryResult struct {
 	X           []int  `json:"x,omitempty"`
 	Y           []int  `json:"y,omitempty"`
 	PlacementID int    `json:"placement_id"`
+	Member      int    `json:"member"`
 	FromBackup  bool   `json:"from_backup"`
 	Error       string `json:"error,omitempty"`
 }
@@ -1156,13 +1508,13 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "canceled while queued for a batch slot")
 		return
 	}
-	batch := e.s.InstantiateBatchWorkers(queries, s.cfg.Workers)
+	batch := e.batcher().InstantiateBatchWorkers(queries, s.cfg.Workers)
 
 	results := make([]queryResult, len(batch))
 	served := 0
 	for i, br := range batch {
 		if br.Err != nil {
-			results[i] = queryResult{PlacementID: -1, Error: br.Err.Error()}
+			results[i] = queryResult{PlacementID: -1, Member: -1, Error: br.Err.Error()}
 			continue
 		}
 		served++
@@ -1170,6 +1522,7 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 			X:           br.X,
 			Y:           br.Y,
 			PlacementID: br.PlacementID,
+			Member:      br.Member,
 			FromBackup:  br.FromBackup,
 		}
 	}

@@ -7,10 +7,17 @@
 // plus a rewritable JSON manifest recording circuit, seed, options,
 // placement count, byte size, and creation time.
 //
+// Structure portfolios persist as grouping rows in the same manifest
+// (PortfolioMeta): K member keys in routing order plus the portfolio's
+// canonical spec. Members are ordinary entries — shared with identical
+// single-structure specs, never copied — so recording a portfolio costs
+// one manifest rewrite, and Open drops any grouping row whose members are
+// no longer all servable.
+//
 // internal/serve uses a Dir as a write-through layer under its LRU cache:
 // finished generations are persisted in the background, cache misses
 // consult the store before paying for an annealing run, and mpsd
-// warm-starts from the newest entries at boot.
+// warm-starts from the newest entries (and portfolio groupings) at boot.
 //
 // A Dir is safe for concurrent use. Corrupt files are detected on Get (the
 // v2 checksum plus core.Load's semantic validation) and reported, never
@@ -64,20 +71,51 @@ type Meta struct {
 	File string `json:"file"`
 }
 
+// PortfolioMeta is one portfolio manifest row: a grouping of K member
+// structures (each a regular manifest entry, persisted with the v3 codec)
+// under the portfolio's own canonical key. Members are referenced by their
+// entry keys — member files are shared with, and deduplicated against,
+// identical single-structure entries rather than copied.
+type PortfolioMeta struct {
+	// Key is the canonical portfolio spec key.
+	Key string `json:"key"`
+	// Circuit and Seed identify the generation inputs; Options carries the
+	// caller's full canonical portfolio spec (serve stores the normalized
+	// GenerateSpec as JSON) so a restarted server can rebuild the
+	// portfolio — member specs are derived from it, not stored.
+	Circuit string `json:"circuit"`
+	Seed    int64  `json:"seed"`
+	Options string `json:"options,omitempty"`
+	// Members lists the member structures' entry keys in routing order
+	// (member 0 first — the order is part of the portfolio's semantics).
+	Members []string `json:"members"`
+	// Placements and Coverage snapshot the portfolio at record time:
+	// summed stored placements and the merged (union) covered fraction.
+	Placements int     `json:"placements"`
+	Coverage   float64 `json:"coverage,omitempty"`
+	// Created is when the grouping row was recorded (UTC).
+	Created time.Time `json:"created"`
+}
+
+// K returns the member count.
+func (p PortfolioMeta) K() int { return len(p.Members) }
+
 type manifest struct {
-	Version int    `json:"version"`
-	Entries []Meta `json:"entries"`
+	Version    int             `json:"version"`
+	Entries    []Meta          `json:"entries"`
+	Portfolios []PortfolioMeta `json:"portfolios,omitempty"`
 }
 
 // Dir is a disk-backed structure repository rooted at one directory.
 type Dir struct {
 	root string
 
-	// mu guards entries and is held only for map access, never across
-	// disk I/O, so reads (Stat/List — the serve read-through's first
-	// stop) never stall behind an fsyncing writer.
-	mu      sync.Mutex
-	entries map[string]Meta
+	// mu guards entries and portfolios and is held only for map access,
+	// never across disk I/O, so reads (Stat/List — the serve
+	// read-through's first stop) never stall behind an fsyncing writer.
+	mu         sync.Mutex
+	entries    map[string]Meta
+	portfolios map[string]PortfolioMeta
 
 	// writeMu serializes manifest rewrites; the entries snapshot is taken
 	// after acquiring it, so the last manifest written always reflects
@@ -93,7 +131,7 @@ func Open(root string) (*Dir, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	d := &Dir{root: root, entries: map[string]Meta{}}
+	d := &Dir{root: root, entries: map[string]Meta{}, portfolios: map[string]PortfolioMeta{}}
 	if stale, err := filepath.Glob(filepath.Join(root, tmpPrefix+"*")); err == nil {
 		for _, f := range stale {
 			os.Remove(f)
@@ -119,7 +157,31 @@ func Open(root string) (*Dir, error) {
 		}
 		d.entries[e.Key] = e
 	}
+	for _, p := range m.Portfolios {
+		if !d.portfolioServable(p) {
+			continue // malformed row, or a member entry is gone
+		}
+		d.portfolios[p.Key] = p
+	}
 	return d, nil
+}
+
+// portfolioServable reports whether a portfolio row is well-formed and all
+// its members have live entries — the condition for Open to keep it and
+// for RecordPortfolio to accept it.
+func (d *Dir) portfolioServable(p PortfolioMeta) bool {
+	if p.Key == "" || len(p.Members) == 0 {
+		return false
+	}
+	for _, key := range p.Members {
+		if key == "" {
+			return false
+		}
+		if _, ok := d.entries[key]; !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // Root returns the directory the store lives in.
@@ -221,13 +283,23 @@ func (d *Dir) List() []Meta {
 	return out
 }
 
-// Delete removes key's structure file and manifest row. Deleting an
-// absent key returns ErrNotFound.
+// Delete removes key's structure file and manifest row. Portfolio rows
+// referencing the deleted entry as a member become unservable and are
+// dropped in the same manifest rewrite. Deleting an absent key returns
+// ErrNotFound.
 func (d *Dir) Delete(key string) error {
 	d.mu.Lock()
 	meta, ok := d.entries[key]
 	if ok {
 		delete(d.entries, key)
+		for pkey, p := range d.portfolios {
+			for _, member := range p.Members {
+				if member == key {
+					delete(d.portfolios, pkey)
+					break
+				}
+			}
+		}
 	}
 	d.mu.Unlock()
 	if !ok {
@@ -235,6 +307,71 @@ func (d *Dir) Delete(key string) error {
 	}
 	if err := os.Remove(filepath.Join(d.root, meta.File)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: %w", err)
+	}
+	return d.saveManifest()
+}
+
+// RecordPortfolio records (or overwrites) a portfolio grouping row. The
+// member structures must already be persisted — every member key needs a
+// live entry, so a recorded portfolio is always servable. Created is
+// filled in when zero; the completed row is returned.
+func (d *Dir) RecordPortfolio(meta PortfolioMeta) (PortfolioMeta, error) {
+	if meta.Created.IsZero() {
+		meta.Created = time.Now().UTC()
+	}
+	d.mu.Lock()
+	if !d.portfolioServable(meta) {
+		d.mu.Unlock()
+		return PortfolioMeta{}, fmt.Errorf("store: portfolio %q references members without entries (persist members first)", meta.Key)
+	}
+	d.portfolios[meta.Key] = meta
+	d.mu.Unlock()
+	if err := d.saveManifest(); err != nil {
+		return PortfolioMeta{}, err
+	}
+	return meta, nil
+}
+
+// GetPortfolio returns the portfolio row for key. Loading the member
+// structures is the caller's business (via Get with each member key), so
+// the caller controls the circuit value and failure handling per member.
+func (d *Dir) GetPortfolio(key string) (PortfolioMeta, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	meta, ok := d.portfolios[key]
+	return meta, ok
+}
+
+// Portfolios returns all portfolio rows, newest first (ties broken by key
+// so the order is deterministic).
+func (d *Dir) Portfolios() []PortfolioMeta {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]PortfolioMeta, 0, len(d.portfolios))
+	for _, p := range d.portfolios {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.After(out[j].Created)
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// DeletePortfolio removes a portfolio grouping row. Member structures are
+// left in place — they are shared with (and reachable as) single-structure
+// entries. Deleting an absent key returns ErrNotFound.
+func (d *Dir) DeletePortfolio(key string) error {
+	d.mu.Lock()
+	_, ok := d.portfolios[key]
+	if ok {
+		delete(d.portfolios, key)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	return d.saveManifest()
 }
@@ -250,8 +387,12 @@ func (d *Dir) saveManifest() error {
 	for _, e := range d.entries {
 		m.Entries = append(m.Entries, e)
 	}
+	for _, p := range d.portfolios {
+		m.Portfolios = append(m.Portfolios, p)
+	}
 	d.mu.Unlock()
 	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Key < m.Entries[j].Key })
+	sort.Slice(m.Portfolios, func(i, j int) bool { return m.Portfolios[i].Key < m.Portfolios[j].Key })
 	_, err := WriteFileAtomic(filepath.Join(d.root, manifestName), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

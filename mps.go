@@ -270,6 +270,16 @@ func LoadFile(path string, c *Circuit) (*Structure, error) {
 // replacing any installed backup. It exists for callers that obtain a
 // structure outside Generate/LoadFile (e.g. the serving layer rehydrating
 // from its disk store) and must re-attach the backup their spec named.
+//
+// Swapping the backup deliberately does not invalidate the cached
+// CompiledStructure: the compiled index holds only the flattened interval
+// rows and anchor tables — it never captures the backup. Both query paths
+// (tree and compiled, and with them InstantiateBatch) read the backup
+// through the structure at query time, so the very next uncovered query
+// answers from the new backup while covered queries keep the prebuilt
+// index. TestSetBackupKindReachesCompiledPaths pins this. Like SetBackup,
+// the swap itself must not race in-flight queries — do it during setup,
+// before the structure is shared.
 func (s *Structure) SetBackupKind(kind BackupKind) {
 	s.SetBackup(newBackup(s.Circuit(), kind))
 }
