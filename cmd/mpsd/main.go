@@ -10,6 +10,8 @@
 //	     [-max-iterations 5000] [-preload TwoStageOpamp]
 //	     [-store-dir /var/lib/mpsd] [-store-warm -1]
 //	     [-gen-workers 2] [-jobs-dir /var/lib/mpsd-jobs] [-jobs-resume]
+//	     [-cluster-self http://node1:8723]
+//	     [-cluster-peers http://node1:8723,http://node2:8723]
 //
 // With -store-dir, generated structures are persisted to a disk-backed
 // repository (atomic v2 binary files plus a JSON manifest) and the daemon
@@ -24,6 +26,19 @@
 // leaves them reported as interrupted instead). A graceful shutdown
 // (SIGINT/SIGTERM) cancels in-flight generation jobs cooperatively — the
 // nested annealers stop within one proposal — before draining HTTP.
+//
+// Cluster mode shards the structure space over a static peer set by
+// consistent hashing on the canonical spec key. -cluster-peers (or
+// -cluster-peers-file, one base URL per line with #-comments) names the
+// full fleet, Self included; -cluster-self is this node's advertised base
+// URL and must appear in the peer set. Requests for keys another node
+// owns are forwarded there (single hop — a marked request is never
+// re-forwarded), hot keys fan reads out across the replica set, and when
+// the owner is unreachable the entry node degrades gracefully: bounded
+// retry with backoff, a per-peer circuit breaker, then local serving.
+// POST /v1/cluster/rebalance walks the local store and pushes misplaced
+// structures to their owners. Every cluster response carries
+// X-Mps-Served-By naming the node that answered.
 //
 // A spec with "portfolio": K (2..8) asks for a structure portfolio: K
 // members generated from derived seeds as K parallel scheduler jobs, then
@@ -44,6 +59,13 @@
 //	GET    /v1/jobs          list jobs, newest first, with queue stats
 //	GET    /v1/jobs/{id}     one job's live progress snapshot
 //	DELETE /v1/jobs/{id}     cancel a queued (never runs) or running job
+//
+// Cluster mode adds (and /healthz then reports forwarding counters and
+// per-peer breaker states):
+//
+//	GET  /v1/cluster/structure   serve a stored artifact to a peer (fetch path)
+//	POST /v1/cluster/accept      receive a structure during rebalance
+//	POST /v1/cluster/rebalance   push misplaced local structures to their owners
 //
 // Example session:
 //
@@ -68,6 +90,7 @@ import (
 	"syscall"
 	"time"
 
+	"mps/internal/cluster"
 	"mps/internal/jobs"
 	"mps/internal/serve"
 	"mps/internal/store"
@@ -95,6 +118,24 @@ func main() {
 		"job-state persistence directory (empty = in-memory job history)")
 	jobsResume := flag.Bool("jobs-resume", true,
 		"resubmit jobs the previous process accepted but never finished (needs -jobs-dir)")
+	clusterSelf := flag.String("cluster-self", "",
+		"this node's advertised base URL; required in cluster mode and must appear in the peer set")
+	clusterPeers := flag.String("cluster-peers", "",
+		"comma-separated peer base URLs, self included (enables cluster mode)")
+	clusterPeersFile := flag.String("cluster-peers-file", "",
+		"file listing peer base URLs, one per line with #-comments (enables cluster mode)")
+	clusterVNodes := flag.Int("cluster-vnodes", 0,
+		"virtual nodes per peer on the consistent-hash ring (0 = default)")
+	clusterReplicas := flag.Int("cluster-replicas", 0,
+		"nodes that may answer reads for a hot key, owner first (0 = default 2, 1 disables fan-out)")
+	clusterForwardTimeout := flag.Duration("cluster-forward-timeout", 0,
+		"per-attempt budget for a forwarded request, generation included (0 = default 15m)")
+	clusterFetchTimeout := flag.Duration("cluster-fetch-timeout", 0,
+		"per-attempt budget for an artifact fetch off a peer (0 = default 30s)")
+	clusterRetries := flag.Int("cluster-retries", 0,
+		"retries per forward on transport errors (0 = default 2, negative disables)")
+	clusterRetryBackoff := flag.Duration("cluster-retry-backoff", 0,
+		"first retry delay, doubling per retry (0 = default 100ms)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -120,6 +161,42 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.Jobs = sched
+	if *clusterPeers != "" || *clusterPeersFile != "" {
+		if *clusterPeers != "" && *clusterPeersFile != "" {
+			log.Fatal("use -cluster-peers or -cluster-peers-file, not both")
+		}
+		if *clusterSelf == "" {
+			log.Fatal("cluster mode needs -cluster-self (this node's advertised base URL)")
+		}
+		var peers []string
+		if *clusterPeersFile != "" {
+			data, err := os.ReadFile(*clusterPeersFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if peers, err = cluster.ParsePeersFile(data); err != nil {
+				log.Fatal(err)
+			}
+		} else if peers, err = cluster.ParsePeers(*clusterPeers); err != nil {
+			log.Fatal(err)
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:           *clusterSelf,
+			Peers:          peers,
+			VNodes:         *clusterVNodes,
+			Replicas:       *clusterReplicas,
+			ForwardTimeout: *clusterForwardTimeout,
+			FetchTimeout:   *clusterFetchTimeout,
+			Retries:        *clusterRetries,
+			RetryBackoff:   *clusterRetryBackoff,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Cluster = cl
+		log.Printf("cluster mode: %d nodes, self %s", len(cl.Peers()), cl.Self())
+	}
 	srv := serve.New(cfg)
 
 	if cfg.Store != nil && *storeWarm != 0 {

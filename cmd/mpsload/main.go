@@ -1,0 +1,121 @@
+// Command mpsload drives a measured mixed workload — structure
+// generation, batched instantiation, portfolio builds — against one or
+// more mpsd nodes and reports p50/p90/p99/p99.9 latency per operation
+// and per entry node.
+//
+// Point it at a single daemon or at every node of a cluster; in cluster
+// mode each request picks an entry node uniformly, so consistent-hash
+// forwarding and hot-key fan-out sit on the measured path.
+//
+// Usage:
+//
+//	mpsload -targets http://127.0.0.1:8723,http://127.0.0.1:8724 \
+//	    -duration 30s -concurrency 16 \
+//	    -mix generate=1,instantiate=8,portfolio=1
+//
+// The -smoke preset shrinks the run (3s, small budgets) for CI: the
+// exit status is 0 only if every request succeeded, so a flaky cluster
+// fails the pipeline. -json swaps the table for a machine-readable
+// summary (millisecond floats) on stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mps/internal/loadgen"
+)
+
+func main() {
+	targets := flag.String("targets", "http://127.0.0.1:8723", "comma-separated mpsd base URLs; each request picks one uniformly")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	concurrency := flag.Int("concurrency", 8, "concurrent workers")
+	mixFlag := flag.String("mix", "generate=1,instantiate=8,portfolio=1", "op weights, e.g. generate=1,instantiate=8,portfolio=1")
+	circuit := flag.String("circuit", "circ01", "benchmark circuit to size")
+	seeds := flag.Int("seeds", 4, "distinct structure seeds the workload cycles through")
+	effort := flag.String("effort", "quick", "generation effort preset")
+	iterations := flag.Int("iterations", 0, "annealing iterations override (0 = effort default)")
+	bdioSteps := flag.Int("bdio-steps", 0, "BDIO step budget override (0 = effort default)")
+	portfolio := flag.Int("portfolio", 2, "member count K for portfolio ops")
+	batch := flag.Int("batch", 16, "dimension queries per instantiate request")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout, generation included")
+	seed := flag.Int64("seed", 1, "workload rng seed (op/target/query sequence)")
+	smoke := flag.Bool("smoke", false, "CI preset: 3s, 4 workers, tiny budgets; exit 1 on any request error")
+	asJSON := flag.Bool("json", false, "emit a JSON summary instead of the table")
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Targets:     splitTargets(*targets),
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Circuit:     *circuit,
+		Seeds:       *seeds,
+		Effort:      *effort,
+		Iterations:  *iterations,
+		BDIOSteps:   *bdioSteps,
+		Portfolio:   *portfolio,
+		Batch:       *batch,
+		Timeout:     *timeout,
+		Seed:        *seed,
+	}
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Mix = mix
+	if *smoke {
+		cfg.Duration = 3 * time.Second
+		cfg.Concurrency = 4
+		cfg.Seeds = 2
+		cfg.Iterations = 20
+		cfg.BDIOSteps = 40
+		cfg.Batch = 4
+		cfg.Timeout = 30 * time.Second
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if !*asJSON {
+		fmt.Fprintf(os.Stderr, "mpsload: %d workers, %s, mix %s, %d targets\n",
+			cfg.Concurrency, cfg.Duration, *mixFlag, len(cfg.Targets))
+	}
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Summary()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Print(res.Table())
+	}
+	if *smoke && (res.Errors > 0 || res.Requests == 0) {
+		fmt.Fprintf(os.Stderr, "mpsload: smoke run saw %d errors over %d requests\n", res.Errors, res.Requests)
+		os.Exit(1)
+	}
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(t), "/")); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker refused before threshold (failure %d)", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after 2 failures, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after 3rd failure, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not trip")
+	}
+	clk.advance(1500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// Failed probe re-opens and restarts the cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a request immediately")
+	}
+	// Successful probe closes.
+	clk.advance(1500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+}

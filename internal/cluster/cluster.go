@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cluster is one node's routing brain: the ring for ownership decisions,
+// a per-peer circuit breaker so a dead peer costs a map lookup instead of
+// a connect timeout, a hot-key tracker for read-replica fan-out, and the
+// HTTP client that carries forwarded requests with bounded retry and
+// backoff. Safe for concurrent use.
+type Cluster struct {
+	cfg  Config
+	ring *Ring
+	// client carries forwarded requests. No global client timeout: each
+	// Do applies the per-attempt deadline through its context, because
+	// forwards (minutes of generation) and fetches (milliseconds of disk)
+	// need different budgets on one connection pool.
+	client *http.Client
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+	hot      map[string]*hotKey
+	hotSweep time.Time
+	rng      *rand.Rand // replica picks; guarded by mu
+
+	forwards     atomic.Int64 // requests proxied to a peer
+	fallbacks    atomic.Int64 // forwards that failed over to local serving
+	fetches      atomic.Int64 // artifacts pulled from peers
+	breakerSkips atomic.Int64 // attempts refused by an open breaker
+}
+
+// hotKey is a fixed-window per-key read counter.
+type hotKey struct {
+	count   int
+	window  time.Time // start of the current window
+	lastHot bool
+}
+
+// New validates cfg and returns a ready Cluster. Self must be one of the
+// peers (after URL normalization); the peer set must be non-empty.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	self, err := NormalizePeerURL(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: self: %w", err)
+	}
+	cfg.Self = self
+	peers, err := parsePeerFields(cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Peers = peers
+	found := false
+	for _, p := range peers {
+		if p == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %s is not in the peer set %v", self, peers)
+	}
+	ring, err := NewRing(peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		cfg:      cfg,
+		ring:     ring,
+		client:   &http.Client{},
+		breakers: make(map[string]*Breaker),
+		hot:      make(map[string]*hotKey),
+		rng:      rand.New(rand.NewSource(int64(hashKey(self) ^ 0x6d707364))),
+	}, nil
+}
+
+// Self returns this node's canonical base URL.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Peers returns the full node set, sorted.
+func (c *Cluster) Peers() []string { return c.ring.Nodes() }
+
+// Ring exposes the ownership ring (for rebalance walks and tests).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Owner returns the node owning key.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// Owns reports whether this node owns key.
+func (c *Cluster) Owns(key string) bool { return c.ring.Owner(key) == c.cfg.Self }
+
+// Replicas returns the key's replica set (owner first), excluding nobody.
+func (c *Cluster) Replicas(key string) []string {
+	return c.ring.Replicas(key, c.cfg.Replicas)
+}
+
+// RecordRead counts a read against key's hot-key window and reports
+// whether the key is currently hot. Called by the owner check on every
+// locally-served read and by the router on every forwarded one, so
+// hotness reflects what this node actually sees.
+func (c *Cluster) RecordRead(key string) bool {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Amortized sweep: drop stale windows so the map tracks live traffic,
+	// not every key ever seen.
+	if now.Sub(c.hotSweep) > 4*c.cfg.HotWindow {
+		c.hotSweep = now
+		for k, h := range c.hot {
+			if now.Sub(h.window) > 2*c.cfg.HotWindow {
+				delete(c.hot, k)
+			}
+		}
+	}
+	h := c.hot[key]
+	if h == nil {
+		h = &hotKey{window: now}
+		c.hot[key] = h
+	}
+	if now.Sub(h.window) > c.cfg.HotWindow {
+		// New window: remember whether the finished window was hot so
+		// hotness does not flap at every window boundary.
+		h.lastHot = h.count >= c.cfg.HotThreshold
+		h.count = 0
+		h.window = now
+	}
+	h.count++
+	return h.count >= c.cfg.HotThreshold || h.lastHot
+}
+
+// RouteRead picks the node to answer a read for key: the owner, unless
+// the key is hot and read fan-out is enabled, in which case a uniform
+// pick from the replica set (owner included) spreads the load. The pick
+// may be this node.
+func (c *Cluster) RouteRead(key string) string {
+	if c.cfg.Replicas <= 1 || !c.RecordRead(key) {
+		return c.ring.Owner(key)
+	}
+	reps := c.Replicas(key)
+	c.mu.Lock()
+	n := reps[c.rng.Intn(len(reps))]
+	c.mu.Unlock()
+	return n
+}
+
+// breaker returns (creating on first use) the breaker for peer.
+func (c *Cluster) breaker(peer string) *Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[peer]
+	if b == nil {
+		b = NewBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown)
+		c.breakers[peer] = b
+	}
+	return b
+}
+
+// ErrPeerDown is wrapped into Do errors when the peer's breaker refuses
+// the attempt without touching the network.
+var ErrPeerDown = fmt.Errorf("cluster: peer breaker open")
+
+// Do sends one HTTP request to peer with per-attempt timeout and bounded
+// retry/backoff on transport errors. Any HTTP response — success or error
+// status — is an answer and is returned to the caller (forwarding must
+// relay the owner's 4xx/5xx verbatim, not mask it as unreachability).
+// The breaker is consulted before the first byte and updated from the
+// outcome; while open, Do fails in microseconds with ErrPeerDown.
+//
+// body may be nil; hdr entries are copied onto the request. The caller
+// owns the response body.
+func (c *Cluster) Do(ctx context.Context, peer, method, path string, body []byte, hdr http.Header, timeout time.Duration) (*http.Response, error) {
+	br := c.breaker(peer)
+	if !br.Allow() {
+		c.breakerSkips.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrPeerDown, peer)
+	}
+	if timeout <= 0 {
+		timeout = c.cfg.ForwardTimeout
+	}
+	var lastErr error
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				br.Failure()
+				return nil, fmt.Errorf("cluster: forward to %s: %w (last error: %v)", peer, ctx.Err(), lastErr)
+			}
+			backoff *= 2
+		}
+		resp, err := c.attempt(ctx, peer, method, path, body, hdr, timeout)
+		if err == nil {
+			br.Success()
+			return resp, nil
+		}
+		lastErr = err
+		c.logf("cluster: %s %s%s attempt %d/%d: %v", method, peer, path, attempt+1, c.cfg.Retries+1, err)
+		if ctx.Err() != nil {
+			break // the caller is gone; retrying serves nobody
+		}
+	}
+	br.Failure()
+	return nil, fmt.Errorf("cluster: forward to %s failed after %d attempts: %w", peer, c.cfg.Retries+1, lastErr)
+}
+
+// attempt is one bounded try against peer.
+func (c *Cluster) attempt(ctx context.Context, peer, method, path string, body []byte, hdr http.Header, timeout time.Duration) (*http.Response, error) {
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, peer+path, rd)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// Hand the per-attempt cancel to the response body: the caller's read
+	// stays bounded by the same deadline, and Close releases the timer.
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelBody ties a context cancel to a response body's lifetime.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// MarkFailure records a peer failure the routing layer observed above
+// the transport (a relayed 5xx): Do saw a completed HTTP exchange and
+// credited the breaker, but the peer is failing — the breaker should
+// hear about it so a persistently broken peer trips just like a dead one.
+func (c *Cluster) MarkFailure(peer string) { c.breaker(peer).Failure() }
+
+// CountForward and CountFallback let the routing layer attribute
+// outcomes; CountFetch marks a peer artifact pull.
+func (c *Cluster) CountForward() { c.forwards.Add(1) }
+
+func (c *Cluster) CountFallback() { c.fallbacks.Add(1) }
+
+func (c *Cluster) CountFetch() { c.fetches.Add(1) }
+
+// Stats is a snapshot of the cluster layer's counters for health
+// endpoints and tests.
+type Stats struct {
+	Self         string                  `json:"self"`
+	Peers        []string                `json:"peers"`
+	Forwards     int64                   `json:"forwards"`
+	Fallbacks    int64                   `json:"fallbacks"`
+	Fetches      int64                   `json:"fetches"`
+	BreakerSkips int64                   `json:"breaker_skips"`
+	Breakers     map[string]BreakerState `json:"breakers,omitempty"`
+}
+
+// Stats returns the current counters and breaker states.
+func (c *Cluster) Stats() Stats {
+	st := Stats{
+		Self:         c.cfg.Self,
+		Peers:        c.Peers(),
+		Forwards:     c.forwards.Load(),
+		Fallbacks:    c.fallbacks.Load(),
+		Fetches:      c.fetches.Load(),
+		BreakerSkips: c.breakerSkips.Load(),
+		Breakers:     map[string]BreakerState{},
+	}
+	c.mu.Lock()
+	for p, b := range c.breakers {
+		st.Breakers[p] = b.State()
+	}
+	c.mu.Unlock()
+	return st
+}
+
+// ForwardTimeout and FetchTimeout expose the configured budgets to the
+// routing layer.
+func (c *Cluster) ForwardTimeout() time.Duration { return c.cfg.ForwardTimeout }
+
+func (c *Cluster) FetchTimeout() time.Duration { return c.cfg.FetchTimeout }
+
+func (c *Cluster) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ForwardHeader is the request header marking a forwarded request. Its
+// value is EncodeForward's output. Routing rule (the loop guard): a
+// request carrying this header — well-formed or not — is NEVER forwarded
+// again; the receiving node answers locally. Single-hop routing is
+// therefore a property of header presence, not of successful parsing, so
+// a corrupted value can degrade one response's bookkeeping but can never
+// start a forwarding loop.
+const ForwardHeader = "X-Mps-Forward"
+
+// ServedByHeader is the response header naming the node that actually
+// answered (set by every cluster-mode node, preserved when proxying), so
+// clients and tests can observe routing without trusting it.
+const ServedByHeader = "X-Mps-Served-By"
+
+// MaxHops is the largest hop count EncodeForward/ParseForward accept.
+// The forwarding design needs exactly 1; the ceiling exists so a forged
+// header cannot smuggle an absurd count into logs or metrics.
+const MaxHops = 4
+
+// Forward is the decoded forwarding mark: which node forwarded the
+// request here and how many hops it has taken.
+type Forward struct {
+	From string // forwarding node's name (its peer base URL)
+	Hop  int    // 1 on the first forward; always in [1, MaxHops]
+}
+
+// EncodeForward renders the header value: "v1;hop=N;from=NODE". From is
+// last and unescaped-but-validated: it must not contain ';' or control
+// bytes (node names are URLs, which never do).
+func EncodeForward(f Forward) (string, error) {
+	if f.Hop < 1 || f.Hop > MaxHops {
+		return "", fmt.Errorf("cluster: hop %d out of range [1,%d]", f.Hop, MaxHops)
+	}
+	if f.From == "" {
+		return "", fmt.Errorf("cluster: empty forwarding node")
+	}
+	if strings.ContainsAny(f.From, ";\r\n") || strings.IndexFunc(f.From, func(r rune) bool { return r < 0x20 || r == 0x7f }) >= 0 {
+		return "", fmt.Errorf("cluster: node name %q not header-safe", f.From)
+	}
+	return fmt.Sprintf("v1;hop=%d;from=%s", f.Hop, f.From), nil
+}
+
+// ParseForward decodes a ForwardHeader value. An empty value means "not
+// forwarded" (zero Forward, false, nil). Malformed values return an error
+// — callers must still treat the request as forwarded (the header was
+// present), which is what keeps malformed input from ever causing a loop.
+func ParseForward(v string) (Forward, bool, error) {
+	if v == "" {
+		return Forward{}, false, nil
+	}
+	if len(v) > 4096 {
+		return Forward{}, true, fmt.Errorf("cluster: forward header too long (%d bytes)", len(v))
+	}
+	rest, ok := strings.CutPrefix(v, "v1;")
+	if !ok {
+		return Forward{}, true, fmt.Errorf("cluster: forward header %q: unknown version", truncate(v))
+	}
+	hopStr, fromPart, ok := strings.Cut(rest, ";")
+	if !ok {
+		return Forward{}, true, fmt.Errorf("cluster: forward header %q: missing from field", truncate(v))
+	}
+	hopVal, ok := strings.CutPrefix(hopStr, "hop=")
+	if !ok {
+		return Forward{}, true, fmt.Errorf("cluster: forward header %q: missing hop field", truncate(v))
+	}
+	hop, err := strconv.Atoi(hopVal)
+	if err != nil {
+		return Forward{}, true, fmt.Errorf("cluster: forward header %q: bad hop: %v", truncate(v), err)
+	}
+	if hop < 1 || hop > MaxHops {
+		return Forward{}, true, fmt.Errorf("cluster: forward header %q: hop %d out of range [1,%d]", truncate(v), hop, MaxHops)
+	}
+	from, ok := strings.CutPrefix(fromPart, "from=")
+	if !ok || from == "" {
+		return Forward{}, true, fmt.Errorf("cluster: forward header %q: bad from field", truncate(v))
+	}
+	if strings.ContainsAny(from, ";\r\n") || strings.IndexFunc(from, func(r rune) bool { return r < 0x20 || r == 0x7f }) >= 0 {
+		return Forward{}, true, fmt.Errorf("cluster: forward header %q: from not header-safe", truncate(v))
+	}
+	return Forward{From: from, Hop: hop}, true, nil
+}
+
+// truncate bounds header values quoted into error strings.
+func truncate(s string) string {
+	if len(s) > 64 {
+		return s[:64] + "…"
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzClusterConfig feeds arbitrary bytes to the peers-file parser (which
+// subsumes the flag parser — both funnel into parsePeerFields /
+// NormalizePeerURL). Contract: never panic; on success every peer is a
+// canonical base URL with no duplicates, re-parses to itself (the
+// canonical form is a fixed point, so one address can never become two
+// ring nodes), and the set builds a valid ring.
+func FuzzClusterConfig(f *testing.F) {
+	f.Add([]byte("http://a:8723\nhttp://b:8724\n"))
+	f.Add([]byte("# comment\n\nb:2 # inline\nhttps://c:3"))
+	f.Add([]byte("http://a:1,http://b:2"))
+	f.Add([]byte("http://u:p@a:1/path?q=1#f"))
+	f.Add([]byte("ftp://a:1\nhttp://a\nhttp://:1"))
+	f.Add([]byte(strings.Repeat("http://a:1\n", 2000)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		peers, err := ParsePeersFile(data)
+		if err != nil {
+			return
+		}
+		if len(peers) == 0 || len(peers) > maxPeers {
+			t.Fatalf("accepted peer set of size %d", len(peers))
+		}
+		seen := map[string]bool{}
+		for _, p := range peers {
+			if seen[p] {
+				t.Fatalf("accepted duplicate peer %q", p)
+			}
+			seen[p] = true
+			canon, err := NormalizePeerURL(p)
+			if err != nil {
+				t.Fatalf("accepted peer %q does not re-normalize: %v", p, err)
+			}
+			if canon != p {
+				t.Fatalf("accepted peer %q is not canonical (re-normalizes to %q)", p, canon)
+			}
+		}
+		ring, err := NewRing(peers, 4)
+		if err != nil {
+			t.Fatalf("accepted peer set does not build a ring: %v", err)
+		}
+		if owner := ring.Owner("some|key"); !seen[owner] {
+			t.Fatalf("ring owner %q not in peer set", owner)
+		}
+	})
+}
+
+// FuzzForwardDecode feeds arbitrary header values to the forward-mark
+// decoder. Contract: never panic; any non-empty value reads as present
+// (the loop guard — junk must still count as "already forwarded"); on
+// success the decoded mark is in range, re-encodes, and round-trips.
+func FuzzForwardDecode(f *testing.F) {
+	f.Add("")
+	f.Add("v1;hop=1;from=http://a:8723")
+	f.Add("v1;hop=4;from=x")
+	f.Add("v1;hop=0;from=x")
+	f.Add("v1;hop=1;from=a;b")
+	f.Add("v2;hop=1;from=a")
+	f.Add("garbage")
+	f.Add("v1;hop=00000000000000000000001;from=a")
+	f.Add(strings.Repeat(";", 4097))
+	f.Fuzz(func(t *testing.T, v string) {
+		fw, present, err := ParseForward(v)
+		if v == "" {
+			if present || err != nil {
+				t.Fatalf("empty value: present=%v err=%v", present, err)
+			}
+			return
+		}
+		if !present {
+			t.Fatalf("non-empty value %q parsed as not-forwarded — forwarding loop possible", v)
+		}
+		if err != nil {
+			return
+		}
+		if fw.Hop < 1 || fw.Hop > MaxHops || fw.From == "" {
+			t.Fatalf("accepted out-of-range mark %+v from %q", fw, v)
+		}
+		enc, err := EncodeForward(fw)
+		if err != nil {
+			t.Fatalf("accepted mark %+v does not re-encode: %v", fw, err)
+		}
+		fw2, present2, err := ParseForward(enc)
+		if err != nil || !present2 || fw2 != fw {
+			t.Fatalf("round trip %q -> %+v -> %q -> %+v (err %v)", v, fw, enc, fw2, err)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package cluster turns a set of independent mpsd daemons into one
+// serving fleet. It owns the three mechanisms that need no knowledge of
+// structures or annealing: a consistent-hash ring mapping canonical spec
+// keys to owning nodes (with replica sets for hot-key read fan-out), a
+// forwarding client with per-peer circuit breakers and bounded
+// retry/backoff, and the wire marking that keeps forwarded requests to a
+// single hop. The serve package decides *what* to route; this package
+// decides *where* and *whether the peer is worth talking to*.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over a static node set. Each node is
+// hashed at VNodes points on a uint64 circle; a key is owned by the node
+// whose point is the first at or after the key's hash. Virtual nodes keep
+// the per-node key share close to uniform, and adding or removing one
+// node remaps only the keys that hashed to that node's points — the
+// minimal-movement property the rebalance path depends on.
+//
+// A Ring is immutable after New and safe for concurrent use.
+type Ring struct {
+	nodes  []string // distinct node names (peer base URLs), sorted
+	points []point  // vnode points sorted by hash
+}
+
+type point struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// DefaultVNodes is the virtual-node count used when NewRing is given a
+// non-positive one. Per-node share deviation scales as 1/sqrt(VNodes)
+// (each node's arc total is a sum of VNodes exponential-ish gaps): 1024
+// points per node puts one standard deviation at ~3%, keeping the
+// measured share within ±20% of uniform across 2–16 node fleets (see
+// TestRingDistribution). The full 16-node ring is 16K points — 256 KiB,
+// built once at startup, binary-searched per ownership check.
+const DefaultVNodes = 1024
+
+// NewRing builds a ring over the given distinct node names. The order of
+// the input does not matter: nodes are sorted first, so two processes
+// configured with the same peer set in any order agree on every owner.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate node %q", sorted[i])
+		}
+	}
+	r := &Ring{
+		nodes:  sorted,
+		points: make([]point, 0, len(sorted)*vnodes),
+	}
+	for ni, name := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash: hashKey(fmt.Sprintf("%s#%d", name, v)),
+				node: int32(ni),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, k int) bool {
+		if r.points[i].hash != r.points[k].hash {
+			return r.points[i].hash < r.points[k].hash
+		}
+		// Identical hashes (vanishingly rare) tie-break by node index so
+		// ownership stays deterministic across processes.
+		return r.points[i].node < r.points[k].node
+	})
+	return r, nil
+}
+
+// hashKey is the ring's hash: FNV-64a with a splitmix64-style finalizer.
+// Not cryptographic — the node set is operator-configured, not
+// adversarial — but fast, stable across processes and architectures
+// (what ownership agreement needs), and the finalizer fixes FNV's weak
+// avalanche on near-identical inputs like "node#17" vs "node#18", which
+// otherwise clumps vnode points and skews the key distribution.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a bijective scramble whose output
+// bits each depend on every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Nodes returns the ring's node names, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning key: the node of the first vnode point at
+// or after the key's hash, wrapping at the top of the circle.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.points[r.search(hashKey(key))].node]
+}
+
+// search returns the index of the first point at or after h (wrapping).
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Replicas returns the first n distinct nodes walking the circle from the
+// key's hash — the owner first, then the read-replica candidates for a
+// hot key. n is clamped to the node count, so Replicas(key, len(nodes))
+// is every node in ownership-preference order.
+func (r *Ring) Replicas(key string, n int) []string {
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	start := r.search(hashKey(key))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}

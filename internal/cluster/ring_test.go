@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// seededKeys returns n deterministic spec-key-shaped strings. Shapes
+// mirror real canonical keys so the distribution claim is about the
+// workload we actually hash, not random bytes.
+func seededKeys(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	circuits := []string{"circ01", "circ02", "TwoStageOpamp", "Mixer", "tso-cascode"}
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s|seed=%d|it=%d|bdio=%d|chains=%d|maxp=0|backup=tree",
+			circuits[rng.Intn(len(circuits))], rng.Int63n(1<<32), 100+rng.Intn(5000), 200+rng.Intn(5000), 1+rng.Intn(4))
+	}
+	return keys
+}
+
+func testNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://10.0.0.%d:8723", i+1)
+	}
+	return nodes
+}
+
+// TestRingDistribution: across 2–16 nodes, each node's share of a seeded
+// key set stays within ±20% of uniform — the property that makes static
+// sharding a capacity plan rather than a lottery.
+func TestRingDistribution(t *testing.T) {
+	const nKeys = 20000
+	for _, seed := range []int64{1, 42, 7777} {
+		keys := seededKeys(seed, nKeys)
+		for nodes := 2; nodes <= 16; nodes++ {
+			r, err := NewRing(testNodes(nodes), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := map[string]int{}
+			for _, k := range keys {
+				counts[r.Owner(k)]++
+			}
+			uniform := float64(nKeys) / float64(nodes)
+			for node, got := range counts {
+				dev := (float64(got) - uniform) / uniform
+				if dev < -0.20 || dev > 0.20 {
+					t.Errorf("seed %d, %d nodes: %s owns %d keys, %.1f%% off uniform %.0f",
+						seed, nodes, node, got, 100*dev, uniform)
+				}
+			}
+			if len(counts) != nodes {
+				t.Errorf("seed %d, %d nodes: only %d nodes own keys", seed, nodes, len(counts))
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one node remaps only the keys that
+// node owned — every key owned by a surviving node keeps its owner. This
+// is the invariant that bounds rebalance traffic to 1/N of the keyspace.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := seededKeys(99, 10000)
+	for nodes := 3; nodes <= 16; nodes++ {
+		all := testNodes(nodes)
+		full, err := NewRing(all, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Remove each node in turn, not just one, so the invariant is not
+		// an artifact of which node was dropped.
+		for drop := 0; drop < nodes; drop++ {
+			var rest []string
+			for i, n := range all {
+				if i != drop {
+					rest = append(rest, n)
+				}
+			}
+			shrunk, err := NewRing(rest, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dropped := all[drop]
+			moved := 0
+			for _, k := range keys {
+				before, after := full.Owner(k), shrunk.Owner(k)
+				if before == dropped {
+					moved++
+					continue // must move somewhere; anywhere is legal
+				}
+				if before != after {
+					t.Fatalf("%d nodes, dropping %s: key %q moved %s -> %s though its owner survived",
+						nodes, dropped, k, before, after)
+				}
+			}
+			if moved == 0 {
+				t.Errorf("%d nodes: dropping %s moved no keys (suspicious distribution)", nodes, dropped)
+			}
+		}
+	}
+}
+
+// TestRingOrderIndependence: two nodes configured with the same peer set
+// in different orders agree on every owner.
+func TestRingOrderIndependence(t *testing.T) {
+	nodes := testNodes(5)
+	shuffled := []string{nodes[3], nodes[0], nodes[4], nodes[2], nodes[1]}
+	a, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range seededKeys(5, 2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner disagreement for %q: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingReplicas: the replica set starts with the owner, contains no
+// duplicates, and clamps to the node count.
+func TestRingReplicas(t *testing.T) {
+	r, err := NewRing(testNodes(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range seededKeys(11, 500) {
+		reps := r.Replicas(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("want 3 replicas, got %v", reps)
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("replicas %v do not start with owner %s", reps, r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range reps {
+			if seen[n] {
+				t.Fatalf("duplicate replica in %v", reps)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Replicas("k", 99); len(got) != 4 {
+		t.Fatalf("replicas should clamp to node count, got %v", got)
+	}
+	if got := r.Replicas("k", 0); got != nil {
+		t.Fatalf("0 replicas should be nil, got %v", got)
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}

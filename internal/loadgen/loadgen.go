@@ -1,0 +1,554 @@
+// Package loadgen is the measured load harness behind cmd/mpsload: a
+// mixed generate/instantiate/portfolio workload driver for one or more
+// mpsd nodes, recording latency histograms per operation and per entry
+// node. It exists to answer the operational questions the unit tests
+// cannot — what the serving fleet's p50/p99/p99.9 look like under
+// concurrent mixed traffic — with no dependencies beyond the standard
+// library, so it can run anywhere the daemon does.
+//
+// The workload models the paper's serving split: a small space of
+// structure keys is generated once (the generate and portfolio ops), and
+// the bulk of the traffic is batched instantiate queries against those
+// hot keys (Fig. 1b's layout-inclusive sizing loop). Targets are picked
+// uniformly per request, so in cluster mode the forwarding/fan-out layer
+// is on the measured path.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mps/internal/circuits"
+	"mps/internal/netlist"
+)
+
+// Histogram is a log-bucketed latency histogram: 8 buckets per doubling
+// from 1µs up, so any quantile is exact to within ~9% (2^(1/8)) — plenty
+// for serving-latency percentiles — in a few KB of fixed memory, safe to
+// merge across workers.
+type Histogram struct {
+	counts [numBuckets]int64
+	count  int64
+	sum    time.Duration
+	max    time.Duration
+}
+
+const (
+	histBase           = time.Microsecond
+	bucketsPerDoubling = 8
+	// numBuckets spans 1µs to ~2^31µs ≈ 36min — far past any request the
+	// driver's client timeout would let live.
+	numBuckets = 31 * bucketsPerDoubling
+)
+
+func bucketIndex(d time.Duration) int {
+	if d <= histBase {
+		return 0
+	}
+	idx := int(math.Ceil(math.Log2(float64(d)/float64(histBase)) * bucketsPerDoubling))
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+func bucketUpper(idx int) time.Duration {
+	return time.Duration(float64(histBase) * math.Pow(2, float64(idx)/bucketsPerDoubling))
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.counts[bucketIndex(d)]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Max returns the largest observed sample (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the arithmetic mean (exact, from the running sum).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// upper edge of the bucket holding the rank-q sample, clamped to the
+// exact max. Zero samples yield zero.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			// The last bucket is an overflow catch-all whose edge is below
+			// its samples; and any bucket's edge can exceed the exact max.
+			// Both clamp to max.
+			if u := bucketUpper(i); i < numBuckets-1 && u < h.max {
+				return u
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Merge folds o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Mix is the workload's operation weighting. A request is one of the
+// three ops with probability proportional to its weight; zero disables
+// the op. The zero Mix means the default 1/8/1 — mostly instantiate
+// traffic against hot keys, the paper's serving regime.
+type Mix struct {
+	Generate    int `json:"generate"`
+	Instantiate int `json:"instantiate"`
+	Portfolio   int `json:"portfolio"`
+}
+
+func (m Mix) total() int { return m.Generate + m.Instantiate + m.Portfolio }
+
+// ParseMix parses the -mix flag form "generate=1,instantiate=8,portfolio=1".
+// Omitted ops weigh zero; at least one op must be positive.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("loadgen: mix element %q: want op=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("loadgen: mix weight %q: want a non-negative integer", val)
+		}
+		switch strings.TrimSpace(name) {
+		case "generate":
+			m.Generate = w
+		case "instantiate":
+			m.Instantiate = w
+		case "portfolio":
+			m.Portfolio = w
+		default:
+			return Mix{}, fmt.Errorf("loadgen: unknown op %q (want generate, instantiate, or portfolio)", name)
+		}
+	}
+	if m.total() <= 0 {
+		return Mix{}, fmt.Errorf("loadgen: mix has no positive weight")
+	}
+	return m, nil
+}
+
+// Config tunes one load run. The zero value of every field except
+// Targets has a sensible default.
+type Config struct {
+	// Targets are the entry-node base URLs; each request picks one
+	// uniformly. Required.
+	Targets []string
+	// Duration is how long to drive load. Default 10s.
+	Duration time.Duration
+	// Concurrency is the number of worker goroutines. Default 8.
+	Concurrency int
+	// Mix weights the operations. Zero value = 1/8/1.
+	Mix Mix
+	// Circuit names the benchmark circuit. Default circ01 (the smallest —
+	// generations complete in seconds even at quick effort).
+	Circuit string
+	// Seeds is the size of the structure-key space the workload cycles
+	// through: seeds 1..Seeds. Default 4.
+	Seeds int
+	// Effort, Iterations, BDIOSteps shape the generation spec exactly as
+	// the daemon's API does. Default effort "quick" with the daemon's
+	// effort-derived budgets (zero Iterations/BDIOSteps).
+	Effort     string
+	Iterations int
+	BDIOSteps  int
+	// Portfolio is the member count K for portfolio ops. Default 2.
+	Portfolio int
+	// Batch is the number of dimension queries per instantiate request.
+	// Default 16.
+	Batch int
+	// Timeout bounds one request, generation included. Default 2m.
+	Timeout time.Duration
+	// Seed seeds the workload's rng, making the op/target/query sequence
+	// reproducible. Default 1.
+	Seed int64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Mix.total() <= 0 {
+		cfg.Mix = Mix{Generate: 1, Instantiate: 8, Portfolio: 1}
+	}
+	if cfg.Circuit == "" {
+		cfg.Circuit = "circ01"
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 4
+	}
+	if cfg.Effort == "" {
+		cfg.Effort = "quick"
+	}
+	if cfg.Portfolio <= 0 {
+		cfg.Portfolio = 2
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 16
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// OpStats is one histogram plus its error count — the unit of the
+// per-op and per-node result maps.
+type OpStats struct {
+	Hist   Histogram
+	Errors int64
+}
+
+// Result is one load run's measurements.
+type Result struct {
+	// Ops maps operation name (generate, instantiate, portfolio) to its
+	// latency histogram and error count.
+	Ops map[string]*OpStats
+	// Nodes maps entry-node URL to the same, over all ops sent there.
+	Nodes map[string]*OpStats
+	// Requests and Errors are run-wide totals; Elapsed is wall time.
+	Requests int64
+	Errors   int64
+	Elapsed  time.Duration
+}
+
+func newResult() *Result {
+	return &Result{Ops: map[string]*OpStats{}, Nodes: map[string]*OpStats{}}
+}
+
+func (r *Result) stats(m map[string]*OpStats, key string) *OpStats {
+	st := m[key]
+	if st == nil {
+		st = &OpStats{}
+		m[key] = st
+	}
+	return st
+}
+
+func (r *Result) record(op, node string, d time.Duration, err error) {
+	r.Requests++
+	for _, st := range []*OpStats{r.stats(r.Ops, op), r.stats(r.Nodes, node)} {
+		st.Hist.Observe(d)
+		if err != nil {
+			st.Errors++
+		}
+	}
+	if err != nil {
+		r.Errors++
+	}
+}
+
+func (r *Result) merge(o *Result) {
+	for op, st := range o.Ops {
+		dst := r.stats(r.Ops, op)
+		dst.Hist.Merge(&st.Hist)
+		dst.Errors += st.Errors
+	}
+	for node, st := range o.Nodes {
+		dst := r.stats(r.Nodes, node)
+		dst.Hist.Merge(&st.Hist)
+		dst.Errors += st.Errors
+	}
+	r.Requests += o.Requests
+	r.Errors += o.Errors
+}
+
+// Run drives the configured workload until the duration elapses or ctx
+// is canceled, whichever comes first, and returns the merged
+// measurements. The only errors are configuration problems; request
+// failures are counted in the result, not returned.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	circuit, err := circuits.ByName(cfg.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	start := time.Now()
+	results := make([]*Result, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := &worker{
+				cfg:     cfg,
+				circuit: circuit,
+				rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+				client:  &http.Client{Timeout: cfg.Timeout},
+				res:     newResult(),
+			}
+			w.run(ctx)
+			results[id] = w.res
+		}(i)
+	}
+	wg.Wait()
+	merged := newResult()
+	for _, r := range results {
+		merged.merge(r)
+	}
+	merged.Elapsed = time.Since(start)
+	return merged, nil
+}
+
+type worker struct {
+	cfg     Config
+	circuit *netlist.Circuit
+	rng     *rand.Rand
+	client  *http.Client
+	res     *Result
+}
+
+func (w *worker) run(ctx context.Context) {
+	for ctx.Err() == nil {
+		op := w.pickOp()
+		target := w.cfg.Targets[w.rng.Intn(len(w.cfg.Targets))]
+		start := time.Now()
+		err := w.do(ctx, op, target)
+		if ctx.Err() != nil && err != nil {
+			return // the deadline cut this request off; don't count the cut
+		}
+		w.res.record(op, target, time.Since(start), err)
+	}
+}
+
+func (w *worker) pickOp() string {
+	r := w.rng.Intn(w.cfg.Mix.total())
+	if r < w.cfg.Mix.Generate {
+		return "generate"
+	}
+	if r < w.cfg.Mix.Generate+w.cfg.Mix.Instantiate {
+		return "instantiate"
+	}
+	return "portfolio"
+}
+
+// spec builds the generation spec JSON for one of the workload's seeds,
+// mirroring the daemon's GenerateSpec fields.
+func (w *worker) spec(portfolio int) map[string]any {
+	spec := map[string]any{
+		"circuit": w.cfg.Circuit,
+		"seed":    int64(1 + w.rng.Intn(w.cfg.Seeds)),
+		"effort":  w.cfg.Effort,
+	}
+	if w.cfg.Iterations > 0 {
+		spec["iterations"] = w.cfg.Iterations
+	}
+	if w.cfg.BDIOSteps > 0 {
+		spec["bdio_steps"] = w.cfg.BDIOSteps
+	}
+	if portfolio > 1 {
+		spec["portfolio"] = portfolio
+	}
+	return spec
+}
+
+// query builds one in-bounds dimension query: every block dimension
+// uniform in its [min, max] range.
+func (w *worker) query() map[string][]int {
+	n := w.circuit.N()
+	ws := make([]int, n)
+	hs := make([]int, n)
+	for i, b := range w.circuit.Blocks {
+		ws[i] = b.WMin + w.rng.Intn(b.WMax-b.WMin+1)
+		hs[i] = b.HMin + w.rng.Intn(b.HMax-b.HMin+1)
+	}
+	return map[string][]int{"ws": ws, "hs": hs}
+}
+
+func (w *worker) do(ctx context.Context, op, target string) error {
+	switch op {
+	case "generate":
+		return w.post(ctx, target+"/v1/structures", w.spec(1))
+	case "portfolio":
+		return w.post(ctx, target+"/v1/structures", w.spec(w.cfg.Portfolio))
+	default: // instantiate
+		queries := make([]map[string][]int, w.cfg.Batch)
+		for i := range queries {
+			queries[i] = w.query()
+		}
+		return w.post(ctx, target+"/v1/instantiate", map[string]any{
+			"spec":    w.spec(1),
+			"queries": queries,
+		})
+	}
+}
+
+func (w *worker) post(ctx context.Context, url string, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	msg, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// quantiles rendered in the table and the JSON summary.
+var tableQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p99.9", 0.999},
+}
+
+// Table renders the run as a fixed-width text table: one row per op,
+// then one per entry node.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %8s %6s", "", "count", "errs")
+	for _, tq := range tableQuantiles {
+		fmt.Fprintf(&b, " %9s", tq.label)
+	}
+	fmt.Fprintf(&b, " %9s %9s\n", "max", "mean")
+	writeRows := func(prefix string, m map[string]*OpStats) {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := m[name]
+			fmt.Fprintf(&b, "%-40s %8d %6d", prefix+name, st.Hist.Count(), st.Errors)
+			for _, tq := range tableQuantiles {
+				fmt.Fprintf(&b, " %9s", fmtDur(st.Hist.Quantile(tq.q)))
+			}
+			fmt.Fprintf(&b, " %9s %9s\n", fmtDur(st.Hist.Max()), fmtDur(st.Hist.Mean()))
+		}
+	}
+	writeRows("", r.Ops)
+	writeRows("node ", r.Nodes)
+	fmt.Fprintf(&b, "%-40s %8d %6d  (%.1f req/s over %s)\n", "total", r.Requests, r.Errors,
+		float64(r.Requests)/r.Elapsed.Seconds(), r.Elapsed.Round(time.Millisecond))
+	return b.String()
+}
+
+// fmtDur renders a latency with three significant-ish digits.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// StatSummary is the machine-readable form of one OpStats row:
+// millisecond floats, ready for jq or a plotting script.
+type StatSummary struct {
+	Count  int64              `json:"count"`
+	Errors int64              `json:"errors"`
+	MS     map[string]float64 `json:"ms"`
+}
+
+// Summary converts the result to its JSON-friendly form.
+func (r *Result) Summary() map[string]any {
+	conv := func(m map[string]*OpStats) map[string]StatSummary {
+		out := make(map[string]StatSummary, len(m))
+		for name, st := range m {
+			ms := map[string]float64{
+				"max":  float64(st.Hist.Max()) / float64(time.Millisecond),
+				"mean": float64(st.Hist.Mean()) / float64(time.Millisecond),
+			}
+			for _, tq := range tableQuantiles {
+				ms[tq.label] = float64(st.Hist.Quantile(tq.q)) / float64(time.Millisecond)
+			}
+			out[name] = StatSummary{Count: st.Hist.Count(), Errors: st.Errors, MS: ms}
+		}
+		return out
+	}
+	return map[string]any{
+		"ops":        conv(r.Ops),
+		"nodes":      conv(r.Nodes),
+		"requests":   r.Requests,
+		"errors":     r.Errors,
+		"elapsed_ms": float64(r.Elapsed) / float64(time.Millisecond),
+	}
+}

@@ -1,0 +1,217 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 ms, one sample each: quantiles are known exactly, and the
+	// bucketed answer must land within one bucket width (2^(1/8) ≈ +9%).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if h.Max() != 1000*time.Millisecond {
+		t.Fatalf("max = %v, want 1s", h.Max())
+	}
+	wantMean := time.Duration(500500) * time.Microsecond
+	if h.Mean() != wantMean {
+		t.Fatalf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want || float64(got) > float64(tc.want)*1.095 {
+			t.Errorf("q%.3f = %v, want in [%v, %v+9%%]", tc.q, got, tc.want, tc.want)
+		}
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram must read zero")
+	}
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped, not a panic
+	h.Observe(48 * time.Hour)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	// Beyond-range samples land in the last bucket; the quantile clamps to
+	// the exact max rather than the bucket edge.
+	if got := h.Quantile(1); got != 48*time.Hour {
+		t.Fatalf("q1 = %v, want 48h", got)
+	}
+	// Bucket upper edges are monotonically non-decreasing in the index.
+	prev := time.Duration(0)
+	for i := 0; i < numBuckets; i++ {
+		u := bucketUpper(i)
+		if u < prev {
+			t.Fatalf("bucketUpper(%d) = %v < bucketUpper(%d) = %v", i, u, i-1, prev)
+		}
+		prev = u
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 500; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 1000 || a.Max() != time.Second {
+		t.Fatalf("merged count=%d max=%v", a.Count(), a.Max())
+	}
+	got := a.Quantile(0.5)
+	want := 500 * time.Millisecond
+	if got < want || float64(got) > float64(want)*1.095 {
+		t.Fatalf("merged q50 = %v, want ≈%v", got, want)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mix
+		ok   bool
+	}{
+		{"generate=1,instantiate=8,portfolio=1", Mix{1, 8, 1}, true},
+		{"instantiate=5", Mix{0, 5, 0}, true},
+		{" generate = 2 , portfolio = 3 ", Mix{2, 0, 3}, true},
+		{"generate=0,instantiate=0,portfolio=0", Mix{}, false},
+		{"", Mix{}, false},
+		{"bogus=1", Mix{}, false},
+		{"generate=-1", Mix{}, false},
+		{"generate", Mix{}, false},
+		{"generate=x", Mix{}, false},
+	} {
+		got, err := ParseMix(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseMix(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseMix(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRunAgainstStub drives the full workload loop against a trivial HTTP
+// stub: every op lands, per-op and per-node histograms fill in, error
+// responses are counted not fatal, and the table/summary render.
+func TestRunAgainstStub(t *testing.T) {
+	var generates, instantiates atomic.Int64
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/structures":
+			generates.Add(1)
+			w.Write([]byte(`{"ok":true}`))
+		case "/v1/instantiate":
+			instantiates.Add(1)
+			w.Write([]byte(`{"ok":true}`))
+		default:
+			http.Error(w, "lost", http.StatusNotFound)
+		}
+	})
+	good := httptest.NewServer(handler)
+	defer good.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+
+	res, err := Run(context.Background(), Config{
+		Targets:     []string{good.URL, bad.URL},
+		Duration:    300 * time.Millisecond,
+		Concurrency: 4,
+		Mix:         Mix{Generate: 1, Instantiate: 2, Portfolio: 1},
+		Seeds:       2,
+		Batch:       2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Requests == 0 {
+		t.Fatalf("no requests recorded")
+	}
+	if generates.Load() == 0 || instantiates.Load() == 0 {
+		t.Fatalf("stub saw generates=%d instantiates=%d, want both > 0",
+			generates.Load(), instantiates.Load())
+	}
+	// The bad node errors every request; the good node errors none.
+	if st := res.Nodes[bad.URL]; st == nil || st.Errors != st.Hist.Count() || st.Errors == 0 {
+		t.Fatalf("bad-node stats = %+v, want all-errors", st)
+	}
+	if st := res.Nodes[good.URL]; st == nil || st.Errors != 0 || st.Hist.Count() == 0 {
+		t.Fatalf("good-node stats = %+v, want error-free traffic", st)
+	}
+	if res.Errors == 0 || res.Errors >= res.Requests {
+		t.Fatalf("errors = %d of %d, want a strict subset", res.Errors, res.Requests)
+	}
+	var opCount int64
+	for _, st := range res.Ops {
+		opCount += st.Hist.Count()
+	}
+	if opCount != res.Requests {
+		t.Fatalf("per-op counts sum to %d, want %d", opCount, res.Requests)
+	}
+
+	table := res.Table()
+	for _, want := range []string{"p50", "p99", "p99.9", "instantiate", "node " + good.URL, "total"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	buf, err := json.Marshal(res.Summary())
+	if err != nil {
+		t.Fatalf("summary marshal: %v", err)
+	}
+	var decoded struct {
+		Ops   map[string]StatSummary `json:"ops"`
+		Nodes map[string]StatSummary `json:"nodes"`
+	}
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatalf("summary round-trip: %v", err)
+	}
+	if len(decoded.Ops) == 0 || len(decoded.Nodes) != 2 {
+		t.Fatalf("summary ops=%d nodes=%d", len(decoded.Ops), len(decoded.Nodes))
+	}
+	for op, st := range decoded.Ops {
+		if st.MS["p50"] < 0 || st.MS["p99"] < st.MS["p50"] {
+			t.Errorf("op %s quantiles not ordered: %+v", op, st.MS)
+		}
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatalf("Run with no targets must fail")
+	}
+	if _, err := Run(context.Background(), Config{
+		Targets: []string{"http://127.0.0.1:1"},
+		Circuit: "no-such-circuit",
+	}); err == nil {
+		t.Fatalf("Run with unknown circuit must fail")
+	}
+}

@@ -1,0 +1,617 @@
+// Cluster-mode routing for the serve layer: which node answers a request,
+// how non-owned requests are proxied there, and how structure artifacts
+// move between nodes (peer fetch, rebalance transfer) using the store's
+// v3 files as the wire format.
+//
+// Routing rules (the whole protocol):
+//
+//  1. The canonical spec key — already the cache/store/job dedup key — is
+//     the shard key. The consistent-hash ring maps it to one owning node.
+//  2. A node receiving a client request for a key it does not own proxies
+//     it to the owner (reads of hot keys: to a uniform pick from the
+//     key's replica set), marking it with the cluster.ForwardHeader.
+//  3. A request carrying the forward mark — well-formed or not — is NEVER
+//     forwarded again: the receiving node answers locally. Forwarding is
+//     therefore single-hop by construction.
+//  4. If the proxied request fails (timeouts, retries exhausted, breaker
+//     open), the node degrades gracefully: it answers locally, fetching
+//     the artifact from any replica that has it, and only generating
+//     itself as the last resort. Dedup still collapses concurrent local
+//     fallbacks for one key into one job.
+//  5. A node serving a key it does not own (replica fan-out, fallback, a
+//     forwarded portfolio member) first tries to *fetch* the built
+//     artifact (v3 bytes) from the owner — milliseconds — so generation
+//     still happens exactly once cluster-wide while owners are up.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"mps"
+	"mps/internal/cluster"
+	"mps/internal/core"
+	"mps/internal/jobs"
+	"mps/internal/store"
+)
+
+// maxTransferBytes bounds a fetched or pushed structure artifact. v3
+// files for the paper's circuits are KBs to low MBs; 256 MiB is far above
+// any legitimate structure and merely stops a rogue peer from ballooning
+// memory.
+const maxTransferBytes = 256 << 20
+
+// forwarded reports whether r already carries the forward mark. Presence
+// alone decides — a malformed mark still counts as forwarded (and is the
+// loop guard; see cluster.ForwardHeader).
+func forwarded(r *http.Request) bool {
+	return r.Header.Get(cluster.ForwardHeader) != ""
+}
+
+// maybeForward proxies the request to the node that should answer it and
+// reports whether the response has been written. false means "serve
+// locally": single-node mode, an already-forwarded request, a key this
+// node should answer itself, or a proxy failure (graceful degradation —
+// the caller proceeds exactly as if no cluster existed, and the entry
+// pipeline's peer read-through keeps generation single-copy when some
+// replica still has the artifact).
+//
+// body is the already-read request body, replayed verbatim to the peer.
+// readOnly routes hot keys across the replica set instead of pinning the
+// owner.
+func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, key string, readOnly bool, body []byte) bool {
+	c := s.cluster
+	if c == nil || forwarded(r) {
+		return false
+	}
+	var target string
+	if readOnly {
+		target = c.RouteRead(key)
+	} else {
+		target = c.Owner(key)
+	}
+	if target == c.Self() {
+		return false
+	}
+	mark, err := cluster.EncodeForward(cluster.Forward{From: c.Self(), Hop: 1})
+	if err != nil { // unreachable for a validated self URL; serve locally
+		s.logf("cluster: encoding forward mark: %v", err)
+		return false
+	}
+	hdr := http.Header{}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		hdr.Set("Content-Type", ct)
+	}
+	hdr.Set(cluster.ForwardHeader, mark)
+	resp, err := c.Do(r.Context(), target, r.Method, r.URL.RequestURI(), body, hdr, c.ForwardTimeout())
+	if err != nil {
+		c.CountFallback()
+		s.logf("cluster: forwarding %s %s (key %s) to %s: %v — serving locally",
+			r.Method, r.URL.Path, key, target, err)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		// The peer is up but failing — same degradation as unreachable,
+		// and the breaker hears about it so a persistently failing peer
+		// stops costing round trips. 4xx is different: the peer understood
+		// the request and refused it; relaying that verdict is correct.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		c.MarkFailure(target)
+		c.CountFallback()
+		s.logf("cluster: %s answered %d for %s %s (key %s) — serving locally",
+			target, resp.StatusCode, r.Method, r.URL.Path, key)
+		return false
+	}
+	c.CountForward()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if by := resp.Header.Get(cluster.ServedByHeader); by != "" {
+		// Relay who actually answered (the peer, or whoever it warmed the
+		// response from) so clients and tests can observe the routing.
+		w.Header().Set(cluster.ServedByHeader, by)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// Status already sent; nothing to recover. The access log notes it.
+		s.logf("cluster: relaying response from %s: %v", target, err)
+	}
+	return true
+}
+
+// remoteWork is the entry pipeline for a key this node does not own,
+// run off the ensure caller's goroutine (peer calls are network-scale,
+// and a portfolio fan-out must not serialize behind them):
+//
+//	fetch built artifact from a replica -> ask the owner to generate,
+//	then fetch -> degrade to a local generation job.
+//
+// Exactly one of the paths publishes the entry.
+func (s *Server) remoteWork(e *entry, specJSON []byte) {
+	if st, stats, ok := s.fetchFromPeers(e.spec); ok {
+		if snap, err := s.sched.RecordDone(e.key, specJSON, jobsProgress(st, stats)); err == nil {
+			s.setJobID(e, snap.ID)
+		}
+		s.publish(e, st, stats, nil)
+		return
+	}
+	if st, stats, handled, err := s.generateOnOwner(e.spec); handled {
+		if err != nil {
+			s.publish(e, nil, mps.Stats{}, err)
+			return
+		}
+		if snap, err := s.sched.RecordDone(e.key, specJSON, jobsProgress(st, stats)); err == nil {
+			s.setJobID(e, snap.ID)
+		}
+		s.publish(e, st, stats, nil)
+		return
+	}
+	// Owner and replicas unreachable: serve anyway. The local scheduler
+	// dedups concurrent fallbacks for this key onto this one job.
+	s.cluster.CountFallback()
+	s.logf("cluster: owner %s unreachable for %s — degrading to local generation",
+		s.cluster.Owner(e.key), e.key)
+	s.submitGeneration(e, specJSON)
+}
+
+// fetchFromPeers tries to pull the built structure (v3 bytes) for spec
+// from the key's replica set, owner first. Milliseconds against a healthy
+// peer; a dead one costs at most one FetchTimeout before its breaker
+// starts refusing instantly.
+func (s *Server) fetchFromPeers(spec GenerateSpec) (*mps.Structure, mps.Stats, bool) {
+	c := s.cluster
+	key := spec.key()
+	for _, peer := range c.Ring().Replicas(key, len(c.Peers())) {
+		if peer == c.Self() {
+			continue
+		}
+		st, stats, err := s.fetchFrom(peer, spec)
+		if err != nil {
+			s.logf("cluster: fetching %s from %s: %v", key, peer, err)
+			continue
+		}
+		if st != nil {
+			c.CountFetch()
+			return st, stats, true
+		}
+	}
+	return nil, mps.Stats{}, false
+}
+
+// errPeerMiss distinguishes "peer answered: not here" from transport
+// failure in fetchFrom.
+var errPeerMiss = fmt.Errorf("peer does not have the structure")
+
+// fetchFrom pulls spec's structure from one peer. (nil, _, nil) is
+// returned for a clean miss (the peer answered 404).
+func (s *Server) fetchFrom(peer string, spec GenerateSpec) (*mps.Structure, mps.Stats, error) {
+	c := s.cluster
+	mark, err := cluster.EncodeForward(cluster.Forward{From: c.Self(), Hop: 1})
+	if err != nil {
+		return nil, mps.Stats{}, err
+	}
+	hdr := http.Header{}
+	hdr.Set(cluster.ForwardHeader, mark)
+	resp, err := c.Do(context.Background(), peer, http.MethodGet,
+		"/v1/cluster/structure?key="+url.QueryEscape(spec.key()), nil, hdr, c.FetchTimeout())
+	if err != nil {
+		return nil, mps.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, mps.Stats{}, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, mps.Stats{}, fmt.Errorf("peer answered %d", resp.StatusCode)
+	}
+	circuit, err := mps.Benchmark(spec.Circuit)
+	if err != nil {
+		return nil, mps.Stats{}, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxTransferBytes+1))
+	if err != nil {
+		return nil, mps.Stats{}, err
+	}
+	if len(body) == 0 {
+		return nil, mps.Stats{}, errPeerMiss
+	}
+	if len(body) > maxTransferBytes {
+		return nil, mps.Stats{}, fmt.Errorf("artifact exceeds %d bytes", maxTransferBytes)
+	}
+	// core.Load validates checksum and invariants: a corrupt or forged
+	// peer response is an error here, never a served structure.
+	cs, err := core.Load(bytes.NewReader(body), circuit)
+	if err != nil {
+		return nil, mps.Stats{}, fmt.Errorf("decoding peer artifact: %w", err)
+	}
+	st := &mps.Structure{Structure: cs}
+	st.SetBackupKind(spec.backupKind())
+	st.Compiled()
+	var stats mps.Stats
+	if cov := resp.Header.Get(clusterCoverageHeader); cov != "" {
+		fmt.Sscanf(cov, "%g", &stats.FinalCoverage)
+	}
+	return st, stats, nil
+}
+
+// generateOnOwner asks the key's owner to generate spec (a marked,
+// submit-and-wait POST /v1/structures — the owner dedups it against its
+// own cache, store, and queue) and then fetches the built artifact.
+// handled=false means the owner was unreachable and the caller should
+// degrade to local generation; handled=true with err carries an owner
+// verdict (e.g. a 4xx) that local generation could not improve on.
+func (s *Server) generateOnOwner(spec GenerateSpec) (*mps.Structure, mps.Stats, bool, error) {
+	c := s.cluster
+	owner := c.Owner(spec.key())
+	mark, err := cluster.EncodeForward(cluster.Forward{From: c.Self(), Hop: 1})
+	if err != nil {
+		return nil, mps.Stats{}, false, nil
+	}
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	hdr.Set(cluster.ForwardHeader, mark)
+	resp, err := c.Do(context.Background(), owner, http.MethodPost, "/v1/structures",
+		mustSpecJSON(spec), hdr, c.ForwardTimeout())
+	if err != nil {
+		return nil, mps.Stats{}, false, nil
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		st, stats, err := s.fetchFrom(owner, spec)
+		if err != nil || st == nil {
+			// Generated there but the artifact will not come over; local
+			// generation still serves the client.
+			s.logf("cluster: owner %s generated %s but fetch failed: %v", owner, spec.key(), err)
+			return nil, mps.Stats{}, false, nil
+		}
+		c.CountFetch()
+		return st, stats, true, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// The owner understood and refused (bad spec, over budget); a
+		// local run would be refused the same way.
+		return nil, mps.Stats{}, true, fmt.Errorf("owner %s refused generation (%d): %s",
+			owner, resp.StatusCode, bytes.TrimSpace(msg))
+	default:
+		// 5xx: owner is up but failing — same degradation as unreachable.
+		return nil, mps.Stats{}, false, nil
+	}
+}
+
+// jobsProgress summarizes a fetched structure for the job-history record.
+func jobsProgress(st *mps.Structure, stats mps.Stats) jobs.Progress {
+	return jobs.Progress{Placements: st.NumPlacements(), Coverage: stats.FinalCoverage}
+}
+
+// entryForKey resolves a bare cache key — the instantiate fast path — in
+// cluster order: LRU, local store (rebuilding the spec from the manifest
+// row), then the key's owner (resolving the spec remotely and pulling the
+// artifact through the ordinary entry pipeline). A nil entry with nil
+// error means the key is unknown everywhere reachable.
+func (s *Server) entryForKey(ctx context.Context, key string) (*entry, error) {
+	if e, ok := s.lookup(key); ok {
+		return e, nil
+	}
+	if spec, ok := s.specFromStore(key); ok {
+		e, _, err := s.structureFor(ctx, spec)
+		if err == nil && e.key != key {
+			return nil, fmt.Errorf("store row for %s rebuilds to key %s (key drift)", key, e.key)
+		}
+		return e, err
+	}
+	if s.cluster != nil && !forwardedFromCtx(ctx) {
+		if spec, ok := s.specFromPeer(key); ok {
+			e, _, err := s.structureFor(ctx, spec)
+			if err == nil && e.key != key {
+				return nil, fmt.Errorf("peer spec for %s rebuilds to key %s (key drift)", key, e.key)
+			}
+			return e, err
+		}
+	}
+	return nil, nil
+}
+
+// forwardedCtxKey marks request contexts of already-forwarded requests so
+// entryForKey does not chase peers for a request a peer just sent us.
+type forwardedCtxKey struct{}
+
+func forwardedFromCtx(ctx context.Context) bool {
+	v, _ := ctx.Value(forwardedCtxKey{}).(bool)
+	return v
+}
+
+// specFromStore rebuilds the GenerateSpec recorded for key in the local
+// store manifest (structure row or portfolio grouping row).
+func (s *Server) specFromStore(key string) (GenerateSpec, bool) {
+	if s.cfg.Store == nil {
+		return GenerateSpec{}, false
+	}
+	var opts string
+	if m, ok := s.cfg.Store.Stat(key); ok {
+		opts = m.Options
+	} else if row, ok := s.cfg.Store.GetPortfolio(key); ok {
+		opts = row.Options
+	} else {
+		return GenerateSpec{}, false
+	}
+	return specFromOptions(key, opts, s.logf)
+}
+
+// specFromPeer asks the key's owner which spec the key denotes (metadata
+// only — the artifact follows through the entry pipeline, where every
+// replica gets a chance to serve it).
+func (s *Server) specFromPeer(key string) (GenerateSpec, bool) {
+	c := s.cluster
+	owner := c.Owner(key)
+	if owner == c.Self() {
+		return GenerateSpec{}, false
+	}
+	mark, err := cluster.EncodeForward(cluster.Forward{From: c.Self(), Hop: 1})
+	if err != nil {
+		return GenerateSpec{}, false
+	}
+	hdr := http.Header{}
+	hdr.Set(cluster.ForwardHeader, mark)
+	resp, err := c.Do(context.Background(), owner, http.MethodGet,
+		"/v1/cluster/structure?key="+url.QueryEscape(key)+"&meta=1", nil, hdr, c.FetchTimeout())
+	if err != nil {
+		return GenerateSpec{}, false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return GenerateSpec{}, false
+	}
+	return specFromOptions(key, resp.Header.Get(clusterSpecHeader), s.logf)
+}
+
+// specFromOptions decodes and re-validates a recorded spec, requiring it
+// to rebuild exactly the key it was recorded under.
+func specFromOptions(key, opts string, logf func(string, ...any)) (GenerateSpec, bool) {
+	var spec GenerateSpec
+	if err := json.Unmarshal([]byte(opts), &spec); err != nil {
+		logf("cluster: options for %s: %v", key, err)
+		return GenerateSpec{}, false
+	}
+	if err := spec.normalize(); err != nil {
+		logf("cluster: spec for %s: %v", key, err)
+		return GenerateSpec{}, false
+	}
+	if spec.key() != key {
+		logf("cluster: options for %s rebuild to %s (key drift)", key, spec.key())
+		return GenerateSpec{}, false
+	}
+	return spec, true
+}
+
+// Cluster transfer headers. clusterSpecHeader carries the canonical spec
+// JSON (single-line by construction); clusterCoverageHeader and
+// clusterPlacementsHeader carry the manifest snapshot numbers.
+const (
+	clusterSpecHeader       = "X-Mps-Spec"
+	clusterCoverageHeader   = "X-Mps-Coverage"
+	clusterPlacementsHeader = "X-Mps-Placements"
+)
+
+// handleClusterStructure is GET /v1/cluster/structure?key=K[&meta=1]: the
+// peer artifact endpoint. Answers from the LRU (encoding the live
+// structure) or the store (streaming the v3 file); never generates, never
+// forwards — it exists so peers can move built artifacts, not work.
+// Portfolio keys answer meta-only (the artifact is its members; peers
+// assemble locally, fetching each member from its own owner).
+func (s *Server) handleClusterStructure(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "missing key")
+		return
+	}
+	metaOnly := r.URL.Query().Get("meta") == "1"
+
+	if e, ok := s.lookup(key); ok {
+		w.Header().Set(clusterSpecHeader, string(mustSpecJSON(e.spec)))
+		w.Header().Set(clusterCoverageHeader, strconv.FormatFloat(e.coverage, 'g', -1, 64))
+		w.Header().Set(clusterPlacementsHeader, strconv.Itoa(e.placements))
+		if metaOnly || e.s == nil { // portfolio entries ship meta only
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := e.s.SaveBinaryCompiled(w); err != nil {
+			s.logf("cluster: encoding %s for peer: %v", key, err)
+		}
+		return
+	}
+	if spec, ok := s.specFromStore(key); ok {
+		w.Header().Set(clusterSpecHeader, string(mustSpecJSON(spec)))
+		if m, ok := s.cfg.Store.Stat(key); ok {
+			w.Header().Set(clusterCoverageHeader, strconv.FormatFloat(m.Coverage, 'g', -1, 64))
+			w.Header().Set(clusterPlacementsHeader, strconv.Itoa(m.Placements))
+			if metaOnly {
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+			data, _, err := s.cfg.Store.ReadFile(key)
+			if err != nil {
+				s.loadErrs.Add(1)
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(data)
+			return
+		}
+		// Portfolio grouping row: meta only.
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Sprintf("structure %q not held here", key))
+}
+
+// handleClusterAccept is POST /v1/cluster/accept: the receiving side of a
+// rebalance transfer — manifest meta in headers, v3 bytes as the body.
+// The artifact revalidates through core.Load before anything persists, so
+// a corrupt transfer is rejected, never stored.
+func (s *Server) handleClusterAccept(w http.ResponseWriter, r *http.Request) {
+	var spec GenerateSpec
+	if err := json.Unmarshal([]byte(r.Header.Get(clusterSpecHeader)), &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "missing or invalid "+clusterSpecHeader)
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if spec.Portfolio > 1 {
+		writeError(w, http.StatusBadRequest, "portfolio groupings do not transfer (members do)")
+		return
+	}
+	circuit, err := mps.Benchmark(spec.Circuit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTransferBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading artifact: %v", err))
+		return
+	}
+	cs, err := core.Load(bytes.NewReader(body), circuit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid artifact: %v", err))
+		return
+	}
+	coverage, _ := strconv.ParseFloat(r.Header.Get(clusterCoverageHeader), 64)
+	if s.cfg.Store != nil {
+		if _, err := s.cfg.Store.Put(store.Meta{
+			Key:      spec.key(),
+			Circuit:  spec.Circuit,
+			Seed:     spec.Seed,
+			Options:  string(mustSpecJSON(spec)),
+			Coverage: coverage,
+		}, cs); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	} else {
+		// Store-less node: hold the transferred structure in the LRU.
+		st := &mps.Structure{Structure: cs}
+		st.SetBackupKind(spec.backupKind())
+		st.Compiled()
+		s.installEntry(spec, st, mps.Stats{FinalCoverage: coverage})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": spec.key(), "stored": true})
+}
+
+// installEntry places a finished structure into the cache as a done entry
+// (no-op if the key is already present) — the Warm pattern, shared by the
+// store-less accept path.
+func (s *Server) installEntry(spec GenerateSpec, st *mps.Structure, stats mps.Stats) {
+	e := &entry{key: spec.key(), spec: spec, ready: make(chan struct{})}
+	e.s, e.stats, e.done = st, stats, true
+	e.placements = st.NumPlacements()
+	e.coverage = stats.FinalCoverage
+	e.start.Do(func() {})
+	close(e.ready)
+	s.mu.Lock()
+	if _, exists := s.cache[e.key]; !exists {
+		e.elem = s.order.PushFront(e)
+		s.cache[e.key] = e
+		s.evictLocked()
+	}
+	s.mu.Unlock()
+}
+
+// RebalanceReport summarizes one rebalance pass.
+type RebalanceReport struct {
+	Scanned     int `json:"scanned"`
+	Kept        int `json:"kept"`        // keys this node owns
+	Transferred int `json:"transferred"` // keys pushed to their owner
+	Dropped     int `json:"dropped"`     // local copies deleted after transfer
+	Failed      int `json:"failed"`
+}
+
+// Rebalance walks the local store and pushes every structure whose key
+// this node no longer owns to its owning peer, reusing the persisted v3
+// file verbatim as the transfer format. With drop, successfully
+// transferred local copies are deleted (run without drop first: keeping
+// the copy is free read-replica capacity until space matters). Portfolio
+// grouping rows never transfer — the row is a local listing convenience;
+// the artifact is its members, which transfer under their own keys.
+func (s *Server) Rebalance(ctx context.Context, drop bool) (RebalanceReport, error) {
+	if s.cluster == nil {
+		return RebalanceReport{}, fmt.Errorf("serve: not in cluster mode")
+	}
+	if s.cfg.Store == nil {
+		return RebalanceReport{}, fmt.Errorf("serve: no store to rebalance")
+	}
+	var rep RebalanceReport
+	mark, err := cluster.EncodeForward(cluster.Forward{From: s.cluster.Self(), Hop: 1})
+	if err != nil {
+		return rep, err
+	}
+	for _, m := range s.cfg.Store.List() {
+		if ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
+		rep.Scanned++
+		owner := s.cluster.Owner(m.Key)
+		if owner == s.cluster.Self() {
+			rep.Kept++
+			continue
+		}
+		data, meta, err := s.cfg.Store.ReadFile(m.Key)
+		if err != nil {
+			s.logf("rebalance: reading %s: %v", m.Key, err)
+			rep.Failed++
+			continue
+		}
+		hdr := http.Header{}
+		hdr.Set(cluster.ForwardHeader, mark)
+		hdr.Set("Content-Type", "application/octet-stream")
+		hdr.Set(clusterSpecHeader, meta.Options)
+		hdr.Set(clusterCoverageHeader, strconv.FormatFloat(meta.Coverage, 'g', -1, 64))
+		hdr.Set(clusterPlacementsHeader, strconv.Itoa(meta.Placements))
+		resp, err := s.cluster.Do(ctx, owner, http.MethodPost, "/v1/cluster/accept", data, hdr, s.cluster.ForwardTimeout())
+		if err != nil {
+			s.logf("rebalance: pushing %s to %s: %v", m.Key, owner, err)
+			rep.Failed++
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			s.logf("rebalance: %s refused %s: %d", owner, m.Key, resp.StatusCode)
+			rep.Failed++
+			continue
+		}
+		rep.Transferred++
+		if drop {
+			if err := s.cfg.Store.Delete(m.Key); err != nil {
+				s.logf("rebalance: dropping local %s: %v", m.Key, err)
+			} else {
+				rep.Dropped++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// handleClusterRebalance is POST /v1/cluster/rebalance[?drop=1].
+func (s *Server) handleClusterRebalance(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Rebalance(r.Context(), r.URL.Query().Get("drop") == "1")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

@@ -31,11 +31,13 @@
 package serve
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strings"
@@ -45,6 +47,7 @@ import (
 
 	"mps"
 	"mps/internal/circuits"
+	"mps/internal/cluster"
 	"mps/internal/jobs"
 	"mps/internal/store"
 )
@@ -93,6 +96,14 @@ type Config struct {
 	// this server's cache entries, so two servers sharing a scheduler
 	// would dedup onto each other's jobs and hang.
 	Jobs *jobs.Scheduler
+	// Cluster, when non-nil, puts the server in cluster mode: the
+	// canonical spec key is consistent-hashed over the peer set, requests
+	// for non-owned keys are forwarded (single-hop) to the owning node,
+	// and non-owned keys served locally (replica fan-out, owner-down
+	// fallback, portfolio members owned elsewhere) are fetched as built
+	// v3 artifacts from peers before any local generation. See
+	// internal/serve/cluster.go for the routing rules.
+	Cluster *cluster.Cluster
 	// Logf, when non-nil, receives operational log lines (store persist
 	// or warm-load failures). Nil discards them; counters still track.
 	Logf func(format string, args ...any)
@@ -125,6 +136,10 @@ type Server struct {
 	// sched runs every generation as a background job; requests submit
 	// and wait instead of annealing inline.
 	sched *jobs.Scheduler
+
+	// cluster is cfg.Cluster (nil in single-node mode), hoisted for the
+	// hot routing checks.
+	cluster *cluster.Cluster
 
 	// batchSlots is a semaphore bounding concurrent batch executions to
 	// the configured maximum.
@@ -222,6 +237,7 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:        cfg,
 		sched:      sched,
+		cluster:    cfg.Cluster,
 		batchSlots: make(chan struct{}, cfg.MaxConcurrentBatches),
 		cache:      make(map[string]*entry),
 		order:      list.New(),
@@ -478,6 +494,24 @@ func (s *Server) startWork(e *entry) {
 		s.publish(e, st, stats, nil)
 		return
 	}
+	// Cluster mode, non-owned key: this node is serving the key anyway
+	// (replica fan-out, owner-down fallback, or a portfolio member owned
+	// elsewhere). Pull the built artifact from a peer — or have the owner
+	// generate it — before annealing here; off this goroutine, because
+	// peer calls are network-scale and ensure's caller may be fanning out
+	// K members. remoteWork degrades to submitGeneration when no peer can
+	// help, so exactly one path publishes either way.
+	if s.cluster != nil && !s.cluster.Owns(e.key) {
+		go s.remoteWork(e, specJSON)
+		return
+	}
+	s.submitGeneration(e, specJSON)
+}
+
+// submitGeneration queues the entry's annealing run on the local job
+// scheduler — the tail of startWork, split out so the cluster path can
+// fall back to it after peer routes fail.
+func (s *Server) submitGeneration(e *entry, specJSON []byte) {
 	// Run and Done execute sequentially on the same worker, so the result
 	// variables they share need no further synchronization. Publication
 	// happens in Done — after the scheduler has retired the key from its
@@ -1084,7 +1118,9 @@ func (s *Server) lookup(key string) (*entry, bool) {
 	return e, true
 }
 
-// Handler returns the daemon's HTTP routing table.
+// Handler returns the daemon's HTTP routing table. In cluster mode the
+// peer endpoints are mounted and every response names the answering node
+// (forwarded responses relay the remote's name instead).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -1095,11 +1131,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	return mux
+	if s.cluster == nil {
+		return mux
+	}
+	mux.HandleFunc("GET /v1/cluster/structure", s.handleClusterStructure)
+	mux.HandleFunc("POST /v1/cluster/accept", s.handleClusterAccept)
+	mux.HandleFunc("POST /v1/cluster/rebalance", s.handleClusterRebalance)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(cluster.ServedByHeader, s.cluster.Self())
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": s.sched.Stats()})
+	resp := map[string]any{"status": "ok", "jobs": s.sched.Stats()}
+	if s.cluster != nil {
+		resp["cluster"] = s.cluster.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // circuitInfo is one row of the /v1/circuits listing.
@@ -1257,9 +1306,20 @@ func (s *Server) handleStructures(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	case http.MethodPost:
-		var spec GenerateSpec
-		if err := decodeJSON(w, r, &spec, 4096); err != nil {
+		body, err := readBody(w, r, 4096)
+		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		var spec GenerateSpec
+		if err := decodeJSONBytes(body, &spec); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// Cluster routing: generation belongs on the key's owner. A copy
+		// normalizes for the key (generate re-validates the original).
+		if norm := spec; norm.normalize() == nil &&
+			s.maybeForward(w, r, norm.key(), false, body) {
 			return
 		}
 		info, err := s.generate(r.Context(), spec)
@@ -1303,14 +1363,26 @@ func (s *Server) jobInfo(snap jobs.Snapshot) JobInfo {
 // when the structure already existed (memory or disk) and the job was
 // born done.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, 4096)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	var req jobSubmitRequest
-	if err := decodeJSON(w, r, &req, 4096); err != nil {
+	if err := decodeJSONBytes(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	spec := req.Spec
 	if err := spec.normalize(); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Cluster routing: the job — and its id, progress, and artifact —
+	// lives on the key's owner. The relayed response's ServedBy header
+	// names the node to poll GET /v1/jobs/{id} on (job ids are
+	// node-local).
+	if s.maybeForward(w, r, spec.key(), false, body) {
 		return
 	}
 	if err := s.checkBudget(spec); err != nil {
@@ -1450,8 +1522,13 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	body, err := readBody(w, r, 4096+int64(s.cfg.MaxBatch)*maxQueryBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	var req instantiateRequest
-	if err := decodeJSON(w, r, &req, 4096+int64(s.cfg.MaxBatch)*maxQueryBytes); err != nil {
+	if err := decodeJSONBytes(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -1465,6 +1542,16 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cluster routing: instantiate is a read — hot keys may fan out
+	// across the replica set instead of pinning the owner. A replica that
+	// lacks the structure pulls the built artifact from the owner (the
+	// entry pipeline's peer read-through), so fan-out never duplicates
+	// generation while the owner is reachable.
+	ctx := r.Context()
+	if forwarded(r) {
+		ctx = context.WithValue(ctx, forwardedCtxKey{}, true)
+	}
+
 	var e *entry
 	switch {
 	case req.Key != "" && req.Spec != nil:
@@ -1473,16 +1560,27 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "provide key or spec, not both")
 		return
 	case req.Key != "":
-		cached, ok := s.lookup(req.Key)
-		if !ok {
+		if s.maybeForward(w, r, req.Key, true, body) {
+			return
+		}
+		resolved, err := s.entryForKey(ctx, req.Key)
+		if err != nil {
+			writeError(w, generateErrorStatus(err), err.Error())
+			return
+		}
+		if resolved == nil {
 			writeError(w, http.StatusNotFound,
 				fmt.Sprintf("structure %q not cached — POST /v1/structures first", req.Key))
 			return
 		}
-		e = cached
+		e = resolved
 	case req.Spec != nil:
+		if norm := *req.Spec; norm.normalize() == nil &&
+			s.maybeForward(w, r, norm.key(), true, body) {
+			return
+		}
 		var err error
-		e, _, err = s.entryFor(r.Context(), *req.Spec)
+		e, _, err = s.entryFor(ctx, *req.Spec)
 		if err != nil {
 			writeError(w, generateErrorStatus(err), err.Error())
 			return
@@ -1537,10 +1635,21 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 // dimension query (two int arrays for the largest benchmark's 24 blocks).
 const maxQueryBytes = 1024
 
-// decodeJSON strictly decodes the request body into v, refusing bodies
-// over limit bytes so the batch/spec caps also bound per-request memory.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+// readBody reads the request body whole, refusing bodies over limit
+// bytes. Handlers that may forward read the body first so the same bytes
+// can replay to a peer verbatim; the limits bound per-request memory
+// exactly as the old streaming decoder did.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	return body, nil
+}
+
+// decodeJSONBytes strictly decodes an already-read body into v.
+func decodeJSONBytes(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %w", err)

@@ -283,6 +283,23 @@ func (d *Dir) List() []Meta {
 	return out
 }
 
+// ReadFile returns the raw persisted bytes for key's structure file plus
+// its manifest row — the transfer primitive behind cluster rebalance and
+// peer fetches, where the v3 file moves between nodes verbatim (the
+// receiver revalidates through core.Load, so no trust rides on the
+// bytes).
+func (d *Dir) ReadFile(key string) ([]byte, Meta, error) {
+	meta, ok := d.Stat(key)
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	data, err := os.ReadFile(filepath.Join(d.root, meta.File))
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("store: %w", err)
+	}
+	return data, meta, nil
+}
+
 // Delete removes key's structure file and manifest row. Portfolio rows
 // referencing the deleted entry as a member become unservable and are
 // dropped in the same manifest rewrite. Deleting an absent key returns
