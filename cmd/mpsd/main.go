@@ -12,6 +12,7 @@
 //	     [-gen-workers 2] [-jobs-dir /var/lib/mpsd-jobs] [-jobs-resume]
 //	     [-cluster-self http://node1:8723]
 //	     [-cluster-peers http://node1:8723,http://node2:8723]
+//	     [-slow-query 2s] [-pprof-addr localhost:6060]
 //
 // With -store-dir, generated structures are persisted to a disk-backed
 // repository (atomic v2 binary files plus a JSON manifest) and the daemon
@@ -51,6 +52,7 @@
 // Endpoints:
 //
 //	GET    /healthz          liveness probe + job queue counts
+//	GET    /metrics          Prometheus text metrics (see ARCHITECTURE.md)
 //	GET    /v1/circuits      list benchmark circuits
 //	GET    /v1/structures    list cached + persisted structures
 //	POST   /v1/structures    generate (submit-and-wait) a structure for a spec
@@ -85,6 +87,10 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	// Registers the profiling handlers on http.DefaultServeMux, which only
+	// the optional -pprof-addr listener serves — the daemon's own handler
+	// is an explicit ServeMux that never falls through to the default.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -136,6 +142,10 @@ func main() {
 		"retries per forward on transport errors (0 = default 2, negative disables)")
 	clusterRetryBackoff := flag.Duration("cluster-retry-backoff", 0,
 		"first retry delay, doubling per retry (0 = default 100ms)")
+	slowQuery := flag.Duration("slow-query", 0,
+		"log requests at least this slow as one-line JSON with a per-stage time breakdown (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "",
+		"listen address for net/http/pprof, e.g. localhost:6060 (empty = off; never on the serving mux)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -144,6 +154,7 @@ func main() {
 		MaxBatch:              *maxBatch,
 		MaxGenerateIterations: *maxIterations,
 		Logf:                  log.Printf,
+		SlowQuery:             *slowQuery,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
@@ -244,6 +255,20 @@ func main() {
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      30 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Profiling lives on its own listener, opt-in and typically bound to
+	// localhost: the serving mux never exposes pprof, so the public port
+	// leaks neither heap contents nor CPU time to whoever can reach it.
+	if *pprofAddr != "" {
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,6 +50,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload rng seed (op/target/query sequence)")
 	smoke := flag.Bool("smoke", false, "CI preset: 3s, 4 workers, tiny budgets; exit 1 on any request error")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of the table")
+	scrape := flag.Bool("scrape", false,
+		"scrape /metrics from every target before and after the run and print client-vs-server p50/p99 from the diff")
 	flag.Parse()
 
 	cfg := loadgen.Config{
@@ -88,21 +91,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpsload: %d workers, %s, mix %s, %d targets\n",
 			cfg.Concurrency, cfg.Duration, *mixFlag, len(cfg.Targets))
 	}
+	// Before-scrape first, so the diff attributes exactly this run's
+	// traffic even against a daemon that has been serving for days.
+	var before *loadgen.Scrape
+	scrapeClient := &http.Client{Timeout: 10 * time.Second}
+	if *scrape {
+		if before, err = loadgen.ScrapeAll(ctx, scrapeClient, cfg.Targets); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	res, err := loadgen.Run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var serverDiff *loadgen.Scrape
+	if *scrape {
+		after, err := loadgen.ScrapeAll(context.Background(), scrapeClient, cfg.Targets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		serverDiff = after.Sub(before)
+	}
 
 	if *asJSON {
+		summary := res.Summary()
+		if serverDiff != nil {
+			summary["server"] = res.ServerSummary(serverDiff)
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res.Summary()); err != nil {
+		if err := enc.Encode(summary); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 	} else {
 		fmt.Print(res.Table())
+		if serverDiff != nil {
+			fmt.Println()
+			fmt.Print(res.CompareServer(serverDiff))
+		}
 	}
 	if *smoke && (res.Errors > 0 || res.Requests == 0) {
 		fmt.Fprintf(os.Stderr, "mpsload: smoke run saw %d errors over %d requests\n", res.Errors, res.Requests)

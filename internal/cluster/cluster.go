@@ -36,6 +36,7 @@ type Cluster struct {
 	fallbacks    atomic.Int64 // forwards that failed over to local serving
 	fetches      atomic.Int64 // artifacts pulled from peers
 	breakerSkips atomic.Int64 // attempts refused by an open breaker
+	hotFanouts   atomic.Int64 // reads spread to replicas instead of the owner
 }
 
 // hotKey is a fixed-window per-key read counter.
@@ -146,6 +147,7 @@ func (c *Cluster) RouteRead(key string) string {
 		return c.ring.Owner(key)
 	}
 	reps := c.Replicas(key)
+	c.hotFanouts.Add(1)
 	c.mu.Lock()
 	n := reps[c.rng.Intn(len(reps))]
 	c.mu.Unlock()

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRingShares(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	ring, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := ring.Shares()
+	if len(shares) != len(nodes) {
+		t.Fatalf("shares has %d nodes, want %d", len(shares), len(nodes))
+	}
+	var sum float64
+	for _, n := range nodes {
+		s := shares[n]
+		// At DefaultVNodes the per-node share is ≈1/N within ±20% (the same
+		// bound TestRingDistribution pins on measured key ownership).
+		if s < 0.25*0.8 || s > 0.25*1.2 {
+			t.Errorf("share[%s] = %v, want ≈0.25", n, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+}
+
+func TestBreakerGaugeValues(t *testing.T) {
+	for _, tc := range []struct {
+		state BreakerState
+		want  float64
+	}{
+		{BreakerClosed, 0},
+		{BreakerHalfOpen, 1},
+		{BreakerOpen, 2},
+	} {
+		if got := tc.state.GaugeValue(); got != tc.want {
+			t.Errorf("GaugeValue(%s) = %v, want %v", tc.state, got, tc.want)
+		}
+	}
+}
+
+func TestBreakerGaugesAndHotFanouts(t *testing.T) {
+	self := "http://a:1"
+	c, err := New(Config{
+		Self: self, Peers: []string{self, "http://b:1"},
+		Replicas: 2, HotThreshold: 3, HotWindow: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := c.BreakerGauges(); len(g) != 0 {
+		t.Fatalf("untouched cluster reports breakers %v", g)
+	}
+	// Trip b's breaker through the same path Do uses.
+	for i := 0; i < DefaultBreakerThreshold; i++ {
+		c.MarkFailure("http://b:1")
+	}
+	g := c.BreakerGauges()
+	if g["http://b:1"] != 2 {
+		t.Fatalf("tripped breaker gauge = %v, want 2 (open)", g)
+	}
+	// Reads below the hot threshold never fan out; at the threshold the
+	// replica pick is taken and counted.
+	key := "some|key"
+	for i := 0; i < 2; i++ {
+		c.RouteRead(key)
+	}
+	if c.HotFanouts() != 0 {
+		t.Fatalf("cold key fanned out: %d", c.HotFanouts())
+	}
+	for i := 0; i < 5; i++ {
+		c.RouteRead(key)
+	}
+	if c.HotFanouts() == 0 {
+		t.Fatalf("hot key never fanned out")
+	}
+}

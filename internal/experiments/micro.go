@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mps/internal/core"
+	"mps/internal/obs"
 	"mps/internal/portfolio"
 	"mps/internal/stats"
 	"mps/internal/store"
@@ -104,6 +105,17 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 			}
 		}
 	}
+	// The metric children and trace the instrumented op records into —
+	// resolved once, exactly as the serve middleware resolves its children
+	// at construction. The loop then measures only what a live request
+	// pays per hit: atomic adds, no lookups, no allocation.
+	obsReg := obs.NewRegistry()
+	reqHist := obsReg.HistogramVec("mps_http_request_duration_seconds", "bench", "route").With("instantiate")
+	reqCount := obsReg.CounterVec("mps_http_requests_total", "bench", "route", "code").With("instantiate", "200")
+	stageDur := obsReg.DurationCounterVec("mps_stage_duration_seconds_total", "bench", "stage").With(obs.StageInstantiate.String())
+	stageOps := obsReg.CounterVec("mps_stage_ops_total", "bench", "stage").With(obs.StageInstantiate.String())
+	tr := &obs.Trace{}
+
 	var v2 bytes.Buffer
 	if err := s.SaveBinary(&v2); err != nil {
 		return nil, err
@@ -165,6 +177,28 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 				if err := cs.InstantiateInto(&res, cws[q], chs[q]); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		// The covered compiled op with the full observability epilogue a
+		// served request pays: timing the work, recording the span on the
+		// request trace and the global stage counters, then the per-route
+		// histogram and request counter. The CI gate pins this at exactly
+		// 0 allocs/op — instrumentation must never put the hot path back
+		// on the allocator.
+		{"mps_request_instrumented/TwoStageOpamp", func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				q := i % batchSize
+				t0 := time.Now()
+				if err := cs.InstantiateInto(&res, cws[q], chs[q]); err != nil {
+					b.Fatal(err)
+				}
+				d := time.Since(t0)
+				tr.Observe(obs.StageInstantiate, d)
+				stageDur.AddDuration(d)
+				stageOps.Inc()
+				reqHist.Observe(d)
+				reqCount.Inc()
 			}
 		}},
 		// Best-of-K routing on covered queries: K CoveredArea probes plus

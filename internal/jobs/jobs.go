@@ -224,6 +224,9 @@ type Scheduler struct {
 	// pattern): the snapshot is taken after acquiring it, so the last
 	// write always carries every earlier transition.
 	writeMu sync.Mutex
+
+	// tot holds the monotonic lifetime counters behind Totals.
+	tot totals
 }
 
 // New starts a scheduler with cfg.Workers workers. With cfg.Dir set it
@@ -337,6 +340,7 @@ func (s *Scheduler) Submit(req Request) (snap Snapshot, dedup bool, err error) {
 	if j, ok := s.active[req.Key]; ok {
 		snap = j.snap
 		s.mu.Unlock()
+		s.tot.deduped.Add(1)
 		return snap, true, nil
 	}
 	j := s.newJobLocked(req.Key, req.Spec, req.Priority)
@@ -349,6 +353,7 @@ func (s *Scheduler) Submit(req Request) (snap Snapshot, dedup bool, err error) {
 	s.cond.Signal()
 	snap = j.snap
 	s.mu.Unlock()
+	s.tot.submitted.Add(1)
 	s.saveState()
 	return snap, false, nil
 }
@@ -382,6 +387,7 @@ func (s *Scheduler) RecordDone(key string, spec json.RawMessage, prog Progress) 
 	s.pruneLocked()
 	snap := j.snap
 	s.mu.Unlock()
+	s.tot.recordedDone.Add(1)
 	s.saveState()
 	return snap, nil
 }
@@ -478,6 +484,7 @@ func (s *Scheduler) cancel(id string, onlyQueued, silent bool) (Snapshot, error)
 		s.pruneLocked()
 		snap := j.snap
 		s.mu.Unlock()
+		s.tot.cancelled.Add(1)
 		if abandon != nil && !silent {
 			abandon(fmt.Errorf("%w while queued", ErrCancelled))
 		}
@@ -587,6 +594,7 @@ func (s *Scheduler) Close() {
 			j.snap.State = StateCancelled
 			j.snap.Error = "scheduler shutting down"
 			j.snap.Finished = time.Now().UTC()
+			s.tot.cancelled.Add(1)
 			if j.abandon != nil {
 				abandons = append(abandons, j.abandon)
 			}
@@ -627,6 +635,7 @@ func (s *Scheduler) worker() {
 		j.snap.State = StateRunning
 		j.snap.Started = time.Now().UTC()
 		s.mu.Unlock()
+		s.tot.started.Add(1)
 		s.saveState()
 
 		err := s.invoke(ctx, j)
@@ -658,6 +667,14 @@ func (s *Scheduler) worker() {
 		closed := s.closed
 		snap := j.snap
 		s.mu.Unlock()
+		switch snap.State {
+		case StateDone:
+			s.tot.done.Add(1)
+		case StateFailed:
+			s.tot.failed.Add(1)
+		case StateCancelled:
+			s.tot.cancelled.Add(1)
+		}
 		if !closed {
 			s.saveState()
 		}

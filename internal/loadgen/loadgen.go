@@ -20,7 +20,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -31,113 +30,18 @@ import (
 
 	"mps/internal/circuits"
 	"mps/internal/netlist"
+	"mps/internal/obs"
 )
 
-// Histogram is a log-bucketed latency histogram: 8 buckets per doubling
-// from 1µs up, so any quantile is exact to within ~9% (2^(1/8)) — plenty
-// for serving-latency percentiles — in a few KB of fixed memory, safe to
-// merge across workers.
-type Histogram struct {
-	counts [numBuckets]int64
-	count  int64
-	sum    time.Duration
-	max    time.Duration
-}
-
-const (
-	histBase           = time.Microsecond
-	bucketsPerDoubling = 8
-	// numBuckets spans 1µs to ~2^31µs ≈ 36min — far past any request the
-	// driver's client timeout would let live.
-	numBuckets = 31 * bucketsPerDoubling
-)
-
-func bucketIndex(d time.Duration) int {
-	if d <= histBase {
-		return 0
-	}
-	idx := int(math.Ceil(math.Log2(float64(d)/float64(histBase)) * bucketsPerDoubling))
-	if idx >= numBuckets {
-		idx = numBuckets - 1
-	}
-	return idx
-}
-
-func bucketUpper(idx int) time.Duration {
-	return time.Duration(float64(histBase) * math.Pow(2, float64(idx)/bucketsPerDoubling))
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.count++
-	h.sum += d
-	if d > h.max {
-		h.max = d
-	}
-	h.counts[bucketIndex(d)]++
-}
-
-// Count returns the number of samples.
-func (h *Histogram) Count() int64 { return h.count }
-
-// Max returns the largest observed sample (exact, not bucketed).
-func (h *Histogram) Max() time.Duration { return h.max }
-
-// Mean returns the arithmetic mean (exact, from the running sum).
-func (h *Histogram) Mean() time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	return h.sum / time.Duration(h.count)
-}
-
-// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
-// upper edge of the bucket holding the rank-q sample, clamped to the
-// exact max. Zero samples yield zero.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := int64(math.Ceil(q * float64(h.count)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for i, c := range h.counts {
-		cum += c
-		if cum >= rank {
-			// The last bucket is an overflow catch-all whose edge is below
-			// its samples; and any bucket's edge can exceed the exact max.
-			// Both clamp to max.
-			if u := bucketUpper(i); i < numBuckets-1 && u < h.max {
-				return u
-			}
-			return h.max
-		}
-	}
-	return h.max
-}
-
-// Merge folds o's samples into h.
-func (h *Histogram) Merge(o *Histogram) {
-	for i, c := range o.counts {
-		h.counts[i] += c
-	}
-	h.count += o.count
-	h.sum += o.sum
-	if o.max > h.max {
-		h.max = o.max
-	}
-}
+// Histogram is the shared log-bucketed latency histogram (8 buckets per
+// doubling from 1µs, quantiles exact to ~9%). It began life in this
+// package and was promoted to internal/obs so the daemon's /metrics
+// histograms and the driver's client-side measurements share one
+// implementation — and therefore one bucket layout, which is what lets
+// mpsload -scrape compare client and server percentiles directly.
+// OpStats and Result hold it behind pointers throughout, so the atomic
+// fields never copy.
+type Histogram = obs.Histogram
 
 // Mix is the workload's operation weighting. A request is one of the
 // three ops with probability proportional to its weight; zero disables

@@ -11,84 +11,8 @@ import (
 	"time"
 )
 
-func TestHistogramQuantiles(t *testing.T) {
-	var h Histogram
-	// 1..1000 ms, one sample each: quantiles are known exactly, and the
-	// bucketed answer must land within one bucket width (2^(1/8) ≈ +9%).
-	for i := 1; i <= 1000; i++ {
-		h.Observe(time.Duration(i) * time.Millisecond)
-	}
-	if h.Count() != 1000 {
-		t.Fatalf("count = %d, want 1000", h.Count())
-	}
-	if h.Max() != 1000*time.Millisecond {
-		t.Fatalf("max = %v, want 1s", h.Max())
-	}
-	wantMean := time.Duration(500500) * time.Microsecond
-	if h.Mean() != wantMean {
-		t.Fatalf("mean = %v, want %v", h.Mean(), wantMean)
-	}
-	for _, tc := range []struct {
-		q    float64
-		want time.Duration
-	}{
-		{0.50, 500 * time.Millisecond},
-		{0.90, 900 * time.Millisecond},
-		{0.99, 990 * time.Millisecond},
-		{0.999, 999 * time.Millisecond},
-	} {
-		got := h.Quantile(tc.q)
-		if got < tc.want || float64(got) > float64(tc.want)*1.095 {
-			t.Errorf("q%.3f = %v, want in [%v, %v+9%%]", tc.q, got, tc.want, tc.want)
-		}
-	}
-}
-
-func TestHistogramEdges(t *testing.T) {
-	var h Histogram
-	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
-		t.Fatalf("empty histogram must read zero")
-	}
-	h.Observe(0)
-	h.Observe(-time.Second) // clamped, not a panic
-	h.Observe(48 * time.Hour)
-	if h.Count() != 3 {
-		t.Fatalf("count = %d, want 3", h.Count())
-	}
-	// Beyond-range samples land in the last bucket; the quantile clamps to
-	// the exact max rather than the bucket edge.
-	if got := h.Quantile(1); got != 48*time.Hour {
-		t.Fatalf("q1 = %v, want 48h", got)
-	}
-	// Bucket upper edges are monotonically non-decreasing in the index.
-	prev := time.Duration(0)
-	for i := 0; i < numBuckets; i++ {
-		u := bucketUpper(i)
-		if u < prev {
-			t.Fatalf("bucketUpper(%d) = %v < bucketUpper(%d) = %v", i, u, i-1, prev)
-		}
-		prev = u
-	}
-}
-
-func TestHistogramMerge(t *testing.T) {
-	var a, b Histogram
-	for i := 1; i <= 500; i++ {
-		a.Observe(time.Duration(i) * time.Millisecond)
-	}
-	for i := 501; i <= 1000; i++ {
-		b.Observe(time.Duration(i) * time.Millisecond)
-	}
-	a.Merge(&b)
-	if a.Count() != 1000 || a.Max() != time.Second {
-		t.Fatalf("merged count=%d max=%v", a.Count(), a.Max())
-	}
-	got := a.Quantile(0.5)
-	want := 500 * time.Millisecond
-	if got < want || float64(got) > float64(want)*1.095 {
-		t.Fatalf("merged q50 = %v, want ≈%v", got, want)
-	}
-}
+// Histogram behavior (quantiles, edges, merge) is tested in internal/obs,
+// where the implementation now lives; Histogram here is a type alias.
 
 func TestParseMix(t *testing.T) {
 	for _, tc := range []struct {

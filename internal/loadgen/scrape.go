@@ -1,0 +1,320 @@
+// Scraping support for mpsload -scrape: pull /metrics from each target
+// before and after a run, diff the counters, and reconstruct server-side
+// latency quantiles from the exported histogram buckets — so one load run
+// reports client-observed and server-observed percentiles side by side
+// (the gap between them is queueing and network, not serving time).
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Scrape is one parsed /metrics payload: series identity (name plus its
+// rendered label set) → value. Only what the diff and quantile math need
+// survives parsing; HELP/TYPE lines are dropped.
+type Scrape struct {
+	Values map[string]seriesValue
+}
+
+// seriesValue keeps the series split into name and parsed labels so
+// selectors do not re-parse per query.
+type seriesValue struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// ParseProm parses Prometheus text exposition format (the subset
+// internal/obs renders: `name{labels} value` lines and `#` comments).
+// Unparseable lines are an error — a scrape that half-parses would
+// silently skew every diff built on it.
+func ParseProm(r io.Reader) (*Scrape, error) {
+	s := &Scrape{Values: map[string]seriesValue{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("loadgen: metrics line %q: no value", line)
+		}
+		id, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: metrics line %q: %v", line, err)
+		}
+		name, labels, err := parseSeriesID(id)
+		if err != nil {
+			return nil, err
+		}
+		s.Values[id] = seriesValue{name: name, labels: labels, value: val}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSeriesID splits `name{k="v",...}` into name and label map. Label
+// values may contain the escapes the renderer emits (\\, \", \n).
+func parseSeriesID(id string) (string, map[string]string, error) {
+	brace := strings.IndexByte(id, '{')
+	if brace < 0 {
+		return id, nil, nil
+	}
+	if !strings.HasSuffix(id, "}") {
+		return "", nil, fmt.Errorf("loadgen: series %q: unterminated labels", id)
+	}
+	name := id[:brace]
+	labels := map[string]string{}
+	rest := id[brace+1 : len(id)-1]
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return "", nil, fmt.Errorf("loadgen: series %q: malformed label", id)
+		}
+		key := rest[:eq]
+		// Find the closing quote, honoring backslash escapes.
+		i := eq + 2
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return "", nil, fmt.Errorf("loadgen: series %q: unterminated label value", id)
+			}
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+		rest = rest[i+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return name, labels, nil
+}
+
+// matches reports whether the series carries every label in sel.
+func (v seriesValue) matches(name string, sel map[string]string) bool {
+	if v.name != name {
+		return false
+	}
+	for k, want := range sel {
+		if v.labels[k] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum adds up every series of the family matching sel (nil matches all).
+func (s *Scrape) Sum(name string, sel map[string]string) float64 {
+	var total float64
+	for _, v := range s.Values {
+		if v.matches(name, sel) {
+			total += v.value
+		}
+	}
+	return total
+}
+
+// Sub returns the per-series difference s − before, for diffing two
+// scrapes around a run. Series absent from before count from zero (new
+// label children); series absent from s are dropped.
+func (s *Scrape) Sub(before *Scrape) *Scrape {
+	out := &Scrape{Values: make(map[string]seriesValue, len(s.Values))}
+	for id, v := range s.Values {
+		if b, ok := before.Values[id]; ok {
+			v.value -= b.value
+		}
+		out.Values[id] = v
+	}
+	return out
+}
+
+// HistogramQuantile reconstructs the q-quantile of a histogram family
+// from its cumulative `_bucket` series (summed across every series
+// matching sel), returning the upper edge of the bucket holding the
+// rank-q sample. The server's buckets double per edge, so the answer is
+// exact to within one doubling — coarse next to the client histogram's
+// ~9%, but measured where queueing can't hide. The bool is false when
+// the matched buckets hold no samples.
+func (s *Scrape) HistogramQuantile(name string, sel map[string]string, q float64) (time.Duration, bool) {
+	type edge struct {
+		le float64
+		n  float64
+	}
+	sums := map[float64]float64{}
+	for _, v := range s.Values {
+		if !v.matches(name+"_bucket", sel) {
+			continue
+		}
+		leStr, ok := v.labels["le"]
+		if !ok {
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			if leStr == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				continue
+			}
+		}
+		sums[le] += v.value
+	}
+	edges := make([]edge, 0, len(sums))
+	for le, n := range sums {
+		edges = append(edges, edge{le, n})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].le < edges[j].le })
+	if len(edges) == 0 {
+		return 0, false
+	}
+	total := edges[len(edges)-1].n // +Inf bucket is cumulative over all
+	if total <= 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := math.Ceil(q * total)
+	if rank < 1 {
+		rank = 1
+	}
+	for _, e := range edges {
+		if e.n >= rank {
+			if math.IsInf(e.le, 1) {
+				break
+			}
+			return time.Duration(e.le * float64(time.Second)), true
+		}
+	}
+	// Rank sits in the overflow bucket: all we know is "above the top
+	// finite edge".
+	top := edges[len(edges)-1].le
+	if len(edges) >= 2 {
+		top = edges[len(edges)-2].le
+	}
+	if math.IsInf(top, 1) {
+		return 0, false
+	}
+	return time.Duration(top * float64(time.Second)), true
+}
+
+// ScrapeTarget GETs target's /metrics and parses it.
+func ScrapeTarget(ctx context.Context, client *http.Client, target string) (*Scrape, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("loadgen: %s/metrics answered %d", target, resp.StatusCode)
+	}
+	return ParseProm(io.LimitReader(resp.Body, 8<<20))
+}
+
+// ScrapeAll scrapes every target and returns the per-series sum — the
+// fleet-wide view a diff or quantile should be computed over.
+func ScrapeAll(ctx context.Context, client *http.Client, targets []string) (*Scrape, error) {
+	merged := &Scrape{Values: map[string]seriesValue{}}
+	for _, t := range targets {
+		s, err := ScrapeTarget(ctx, client, t)
+		if err != nil {
+			return nil, err
+		}
+		for id, v := range s.Values {
+			if cur, ok := merged.Values[id]; ok {
+				v.value += cur.value
+			}
+			merged.Values[id] = v
+		}
+	}
+	return merged, nil
+}
+
+// opRoute maps a driver op to the server route label its requests land
+// on, connecting client-side and server-side histograms.
+func opRoute(op string) string {
+	if op == "instantiate" {
+		return "instantiate"
+	}
+	return "structures" // generate and portfolio both POST /v1/structures
+}
+
+// ServerSummary is the JSON-mode form of the comparison: per op, the
+// server-observed request count and quantiles from diff.
+func (r *Result) ServerSummary(diff *Scrape) map[string]any {
+	out := make(map[string]any, len(r.Ops))
+	for op := range r.Ops {
+		sel := map[string]string{"route": opRoute(op)}
+		ms := map[string]float64{}
+		for _, tq := range tableQuantiles {
+			if d, ok := diff.HistogramQuantile("mps_http_request_duration_seconds", sel, tq.q); ok {
+				ms[tq.label] = float64(d) / float64(time.Millisecond)
+			}
+		}
+		out[op] = map[string]any{
+			"count": diff.Sum("mps_http_request_duration_seconds_count", sel),
+			"ms":    ms,
+		}
+	}
+	return out
+}
+
+// CompareServer renders the client-vs-server latency comparison for one
+// run: per op, the client-observed p50/p99 next to the server-observed
+// ones reconstructed from diff (an after-scrape minus before-scrape).
+func (r *Result) CompareServer(diff *Scrape) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %12s %12s %12s %12s\n",
+		"op", "server-n", "client-p50", "server-p50", "client-p99", "server-p99")
+	ops := make([]string, 0, len(r.Ops))
+	for op := range r.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		st := r.Ops[op]
+		sel := map[string]string{"route": opRoute(op)}
+		n := diff.Sum("mps_http_request_duration_seconds_count", sel)
+		sp50, _ := diff.HistogramQuantile("mps_http_request_duration_seconds", sel, 0.50)
+		sp99, _ := diff.HistogramQuantile("mps_http_request_duration_seconds", sel, 0.99)
+		fmt.Fprintf(&b, "%-14s %10.0f %12s %12s %12s %12s\n", op, n,
+			fmtDur(st.Hist.Quantile(0.50)), fmtDur(sp50),
+			fmtDur(st.Hist.Quantile(0.99)), fmtDur(sp99))
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names one phase of answering a request. Stages are a small fixed
+// enum — a Trace stores per-stage totals in a flat array, so recording a
+// span is two atomic adds and no allocation.
+type Stage uint8
+
+const (
+	// StageCache: LRU lookup and entry bookkeeping. For the request that
+	// triggers an inline disk read-through this span contains the
+	// StageStoreRead/StageCompile work (spans overlap; see Trace).
+	StageCache Stage = iota
+	// StageStoreRead: disk-store read-through (file read + decode).
+	StageStoreRead
+	// StageCompile: compiled-query-index materialization.
+	StageCompile
+	// StageForward: proxying the request to the owning peer and relaying
+	// its response.
+	StageForward
+	// StageFetch: pulling a built structure artifact from a peer.
+	StageFetch
+	// StageJobWait: waiting for the generation scheduler to produce the
+	// entry (queue wait + annealing for cold keys).
+	StageJobWait
+	// StageBatchWait: waiting for a server-wide instantiate batch slot.
+	StageBatchWait
+	// StageInstantiate: executing the batch against the compiled index.
+	StageInstantiate
+	// StageEncode: encoding and writing the response body.
+	StageEncode
+
+	// NumStages is the stage count; valid stages are < NumStages.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"cache", "store_read", "compile", "forward", "fetch",
+	"job_wait", "batch_wait", "instantiate", "encode",
+}
+
+// String returns the stage's metric label ("cache", "store_read", ...).
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Stages lists every stage in declaration order, for registering
+// per-stage metric series up front.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Trace accumulates per-stage time for one request. It travels on the
+// request context (WithTrace/TraceFrom) so any layer the request passes
+// through can attribute its time without new plumbing; a nil *Trace is
+// valid and records nothing, so instrumented code never has to check
+// whether tracing is on.
+//
+// Stages may overlap (StageCache contains an inline read-through's
+// StageStoreRead), so the per-stage totals are attribution, not a
+// partition of wall time. Fields are atomic because peer fetches and
+// fan-out goroutines may record concurrently with the request goroutine.
+type Trace struct {
+	durs [NumStages]atomic.Int64
+	ops  [NumStages]atomic.Int32
+}
+
+// ctxKey carries the Trace on a context.
+type ctxKey struct{}
+
+// WithTrace returns ctx carrying a fresh Trace, and the Trace. One
+// allocation per request, paid once in the outermost middleware.
+func WithTrace(ctx context.Context) (context.Context, *Trace) {
+	t := &Trace{}
+	return context.WithValue(ctx, ctxKey{}, t), t
+}
+
+// TraceFrom returns the context's Trace, or nil when the request is not
+// traced (background work, tests). The nil result is directly usable:
+// all Trace methods are nil-safe.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// Observe adds one span to the stage's total. Nil-safe, allocation-free.
+func (t *Trace) Observe(s Stage, d time.Duration) {
+	if t == nil || s >= NumStages {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.durs[s].Add(int64(d))
+	t.ops[s].Add(1)
+}
+
+// Dur returns the stage's accumulated time. Nil-safe.
+func (t *Trace) Dur(s Stage) time.Duration {
+	if t == nil || s >= NumStages {
+		return 0
+	}
+	return time.Duration(t.durs[s].Load())
+}
+
+// Ops returns how many spans the stage accumulated. Nil-safe.
+func (t *Trace) Ops(s Stage) int32 {
+	if t == nil || s >= NumStages {
+		return 0
+	}
+	return t.ops[s].Load()
+}
+
+// StageBreakdown returns the non-zero stages as a name → milliseconds
+// map — the slow-query log's "stages" object. Nil-safe (returns nil).
+func (t *Trace) StageBreakdown() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	var out map[string]float64
+	for s := Stage(0); s < NumStages; s++ {
+		if d := t.durs[s].Load(); d > 0 {
+			if out == nil {
+				out = make(map[string]float64, 4)
+			}
+			out[stageNames[s]] = float64(d) / float64(time.Millisecond)
+		}
+	}
+	return out
+}
+
+// SlowQueryEntry is the slow-query log line: one JSON object per
+// over-threshold request, with the stage breakdown that tells an
+// operator *where* the time went, not just that it went.
+type SlowQueryEntry struct {
+	Method   string             `json:"method"`
+	Path     string             `json:"path"`
+	Route    string             `json:"route"`
+	Status   int                `json:"status"`
+	Millis   float64            `json:"ms"`
+	ServedBy string             `json:"served_by,omitempty"`
+	Key      string             `json:"key,omitempty"`
+	Stages   map[string]float64 `json:"stages,omitempty"`
+}
+
+// Render returns the entry as one-line JSON. Marshaling a flat struct of
+// strings and numbers cannot fail; a slow query is already off the hot
+// path, so the allocation here is irrelevant.
+func (e SlowQueryEntry) Render() string {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return `{"error":"slow query entry unencodable"}`
+	}
+	return string(b)
+}

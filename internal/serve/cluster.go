@@ -33,11 +33,13 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"mps"
 	"mps/internal/cluster"
 	"mps/internal/core"
 	"mps/internal/jobs"
+	"mps/internal/obs"
 	"mps/internal/store"
 )
 
@@ -89,6 +91,12 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, key string
 		hdr.Set("Content-Type", ct)
 	}
 	hdr.Set(cluster.ForwardHeader, mark)
+	// Everything past this point is forward work — the peer round trip
+	// and, on success, relaying its response — so one deferred span
+	// covers every outcome.
+	tr := obs.TraceFrom(r.Context())
+	fwdStart := time.Now()
+	defer func() { s.metrics.observe(tr, obs.StageForward, time.Since(fwdStart)) }()
 	resp, err := c.Do(r.Context(), target, r.Method, r.URL.RequestURI(), body, hdr, c.ForwardTimeout())
 	if err != nil {
 		c.CountFallback()
@@ -134,15 +142,28 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, key string
 //	then fetch -> degrade to a local generation job.
 //
 // Exactly one of the paths publishes the entry.
-func (s *Server) remoteWork(e *entry, specJSON []byte) {
-	if st, stats, ok := s.fetchFromPeers(e.spec); ok {
+//
+// tr is the trace of the request that created the entry (nil when none):
+// the fetch/forward spans land on it even though this goroutine outlives
+// the ensure call — Trace is atomic, so a post-response record is safe,
+// and the global stage counters see the spans either way.
+func (s *Server) remoteWork(tr *obs.Trace, e *entry, specJSON []byte) {
+	fetchStart := time.Now()
+	st0, stats0, ok := s.fetchFromPeers(e.spec)
+	s.metrics.observe(tr, obs.StageFetch, time.Since(fetchStart))
+	if ok {
+		st, stats := st0, stats0
 		if snap, err := s.sched.RecordDone(e.key, specJSON, jobsProgress(st, stats)); err == nil {
 			s.setJobID(e, snap.ID)
 		}
 		s.publish(e, st, stats, nil)
 		return
 	}
-	if st, stats, handled, err := s.generateOnOwner(e.spec); handled {
+	genStart := time.Now()
+	st1, stats1, handled, err1 := s.generateOnOwner(e.spec)
+	s.metrics.observe(tr, obs.StageForward, time.Since(genStart))
+	if handled {
+		st, stats, err := st1, stats1, err1
 		if err != nil {
 			s.publish(e, nil, mps.Stats{}, err)
 			return

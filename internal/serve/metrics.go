@@ -1,0 +1,281 @@
+// Observability wiring for the serve layer: one obs.Registry per Server,
+// populated at construction with every metric family the daemon exports,
+// plus the HTTP middleware that traces requests and feeds the per-route
+// histograms and the slow-query log.
+//
+// Conventions (see ARCHITECTURE.md "Observability"):
+//
+//   - Every family is prefixed mps_ and uses base units (seconds, bytes).
+//   - Label sets are bounded by construction: routes come from the fixed
+//     routeLabel table, stages from the obs.Stage enum, peers from the
+//     static cluster membership, job priorities from the submitter's
+//     fixed priority scheme. Nothing client-controlled becomes a label.
+//   - Counters owned by other layers (cluster, jobs) stay where they are
+//     — atomics next to the code that increments them — and are exported
+//     through scrape-time CounterFunc/GaugeFunc closures, so /healthz
+//     JSON stays byte-identical while /metrics reads the same values.
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"mps/internal/cluster"
+	"mps/internal/obs"
+)
+
+// routeLabels is the closed set of route label values. Unmatched paths
+// collapse into "other" so a scanner probing random URLs cannot mint
+// series.
+var routeLabels = []string{
+	"healthz", "metrics", "circuits", "structures", "instantiate",
+	"jobs", "job", "cluster_structure", "cluster_accept",
+	"cluster_rebalance", "other",
+}
+
+// routeLabel maps a request path to its route label.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz":
+		return "healthz"
+	case "/metrics":
+		return "metrics"
+	case "/v1/circuits":
+		return "circuits"
+	case "/v1/structures":
+		return "structures"
+	case "/v1/instantiate":
+		return "instantiate"
+	case "/v1/jobs":
+		return "jobs"
+	case "/v1/cluster/structure":
+		return "cluster_structure"
+	case "/v1/cluster/accept":
+		return "cluster_accept"
+	case "/v1/cluster/rebalance":
+		return "cluster_rebalance"
+	}
+	if len(path) > len("/v1/jobs/") && path[:len("/v1/jobs/")] == "/v1/jobs/" {
+		return "job"
+	}
+	return "other"
+}
+
+// serverMetrics holds the Server's registry and the hot-path metric
+// children, resolved once at construction so request handling never does
+// a labeled lookup.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	reqCount  *obs.CounterVec
+	routeHist map[string]*obs.Histogram
+
+	// Per-stage global accumulation, indexed by obs.Stage. Spans record
+	// here and into the request's Trace in one call (observe), so the
+	// stage totals do not depend on a request surviving to the middleware
+	// epilogue — background fetches count too.
+	stageDur [obs.NumStages]*obs.Counter
+	stageOps [obs.NumStages]*obs.Counter
+
+	genRuns         *obs.Counter
+	persistErrs     *obs.Counter
+	loadErrs        *obs.Counter
+	cacheEvictions  *obs.Counter
+	forwardedServed *obs.Counter
+	slowQueries     *obs.Counter
+}
+
+// newServerMetrics builds the registry for s. Gauge and counter funcs
+// close over s and read live state at scrape time; they take the same
+// locks a request would (briefly), never the other way around, so a
+// scrape can't deadlock the serving path.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{reg: reg, routeHist: make(map[string]*obs.Histogram, len(routeLabels))}
+
+	m.reqCount = reg.CounterVec("mps_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	durVec := reg.HistogramVec("mps_http_request_duration_seconds",
+		"HTTP request latency by route.", "route")
+	for _, rt := range routeLabels {
+		m.routeHist[rt] = durVec.With(rt)
+	}
+
+	stageDur := reg.DurationCounterVec("mps_stage_duration_seconds_total",
+		"Time attributed to each request stage (stages may overlap; see internal/obs).", "stage")
+	stageOps := reg.CounterVec("mps_stage_ops_total",
+		"Spans recorded per request stage.", "stage")
+	for _, st := range obs.Stages() {
+		m.stageDur[st] = stageDur.With(st.String())
+		m.stageOps[st] = stageOps.With(st.String())
+	}
+
+	m.genRuns = reg.Counter("mps_generation_runs_total",
+		"Full annealing runs started (cache and store hits excluded).")
+	m.persistErrs = reg.Counter("mps_store_persist_errors_total",
+		"Background store writes that failed.")
+	m.loadErrs = reg.Counter("mps_store_load_errors_total",
+		"Store reads that failed (corrupt file, mismatched circuit).")
+	m.cacheEvictions = reg.Counter("mps_cache_evictions_total",
+		"Finished entries evicted from the LRU cache.")
+	m.forwardedServed = reg.Counter("mps_forwarded_served_total",
+		"Client requests served here that a peer forwarded (cluster peer-protocol traffic excluded).")
+	m.slowQueries = reg.Counter("mps_slow_queries_total",
+		"Requests over the configured slow-query threshold.")
+
+	reg.GaugeFunc("mps_cache_entries",
+		"Entries (finished or in flight) in the LRU cache.", func() float64 {
+			s.mu.Lock()
+			n := len(s.cache)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("mps_batch_slots_in_use",
+		"Instantiate batch slots currently held.", func() float64 {
+			return float64(len(s.batchSlots))
+		})
+	reg.GaugeFunc("mps_batch_slots_limit",
+		"Configured server-wide concurrent instantiate batch bound.", func() float64 {
+			return float64(s.cfg.MaxConcurrentBatches)
+		})
+
+	// Jobs: live queue gauges plus the scheduler's monotonic lifetime
+	// counters. One Metrics() snapshot per gauge keeps each closure
+	// self-contained; the scheduler lock is held for microseconds.
+	reg.GaugeVecFunc("mps_jobs_queue_depth",
+		"Queued generation jobs by priority.", "priority", func() map[string]float64 {
+			return s.sched.Metrics().QueueDepth
+		})
+	reg.GaugeFunc("mps_jobs_running",
+		"Generation jobs currently holding a worker.", func() float64 {
+			return float64(s.sched.Metrics().Running)
+		})
+	reg.GaugeFunc("mps_jobs_oldest_queued_seconds",
+		"Age of the longest-queued job (0 when the queue is empty).", func() float64 {
+			return s.sched.Metrics().OldestQueuedAge.Seconds()
+		})
+	reg.GaugeFunc("mps_jobs_oldest_running_seconds",
+		"Age of the longest-running job (0 when idle).", func() float64 {
+			return s.sched.Metrics().OldestRunningAge.Seconds()
+		})
+	reg.CounterVecFunc("mps_jobs_transitions_total",
+		"Lifetime job lifecycle transitions by event.", "event", func() map[string]float64 {
+			t := s.sched.Totals()
+			return map[string]float64{
+				"submitted":     float64(t.Submitted),
+				"deduped":       float64(t.Deduped),
+				"recorded_done": float64(t.RecordedDone),
+				"started":       float64(t.Started),
+				"done":          float64(t.Done),
+				"failed":        float64(t.Failed),
+				"cancelled":     float64(t.Cancelled),
+			}
+		})
+
+	if s.cfg.Store != nil {
+		st := s.cfg.Store
+		reg.GaugeFunc("mps_store_entries",
+			"Structures in the disk store manifest.", func() float64 {
+				return float64(st.Stats().Entries)
+			})
+		reg.GaugeFunc("mps_store_portfolios",
+			"Portfolio grouping rows in the disk store manifest.", func() float64 {
+				return float64(st.Stats().Portfolios)
+			})
+		reg.GaugeFunc("mps_store_bytes",
+			"Total bytes of persisted structure files.", func() float64 {
+				return float64(st.Stats().Bytes)
+			})
+	}
+
+	if c := s.cluster; c != nil {
+		reg.CounterVecFunc("mps_cluster_events_total",
+			"Cluster routing outcomes by event.", "event", func() map[string]float64 {
+				cs := c.Stats()
+				return map[string]float64{
+					"forward":      float64(cs.Forwards),
+					"fallback":     float64(cs.Fallbacks),
+					"fetch":        float64(cs.Fetches),
+					"breaker_skip": float64(cs.BreakerSkips),
+					"hot_fanout":   float64(c.HotFanouts()),
+				}
+			})
+		reg.GaugeVecFunc("mps_cluster_breaker_state",
+			"Per-peer circuit breaker state (0 closed, 1 half-open, 2 open); peers never contacted are absent.",
+			"peer", c.BreakerGauges)
+		// Ring shares are fixed for the life of the membership: compute
+		// once, serve the same map every scrape.
+		shares := c.Ring().Shares()
+		reg.GaugeVecFunc("mps_cluster_ring_share",
+			"Fraction of the key space this ring assigns to each node.",
+			"peer", func() map[string]float64 { return shares })
+	}
+	return m
+}
+
+// observe records one span globally and on the request's trace (tr may be
+// nil — background work). Allocation-free.
+func (m *serverMetrics) observe(tr *obs.Trace, st obs.Stage, d time.Duration) {
+	tr.Observe(st, d)
+	if d > 0 {
+		m.stageDur[st].AddDuration(d)
+	}
+	m.stageOps[st].Inc()
+}
+
+// statusRecorder captures the response status for the request metrics and
+// the slow-query log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the routing table with the observability epilogue:
+// attach a Trace to the context, then on completion record the per-route
+// latency histogram and request counter, count forwarded client traffic,
+// and emit the slow-query line when the request ran over threshold.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	m := s.metrics
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r.URL.Path)
+		ctx, tr := obs.WithTrace(r.Context())
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		m.routeHist[route].Observe(elapsed)
+		m.reqCount.With(route, strconv.Itoa(rec.status)).Inc()
+		// Forwarded *client* requests only: the /v1/cluster/* endpoints
+		// always carry the forward mark (it is the peer-protocol loop
+		// guard), so counting them would make every fetch look like a
+		// forwarded client call.
+		if forwarded(r) && route != "cluster_structure" &&
+			route != "cluster_accept" && route != "cluster_rebalance" {
+			m.forwardedServed.Inc()
+		}
+		if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+			m.slowQueries.Inc()
+			line := obs.SlowQueryEntry{
+				Method:   r.Method,
+				Path:     r.URL.Path,
+				Route:    route,
+				Status:   rec.status,
+				Millis:   float64(elapsed) / float64(time.Millisecond),
+				ServedBy: w.Header().Get(cluster.ServedByHeader),
+				Stages:   tr.StageBreakdown(),
+			}
+			s.logf("slow-query %s", line.Render())
+		}
+	})
+}
+
+// Registry exposes the server's metric registry — cmd/mpsd mounts its
+// Handler, tests scrape it directly.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mps/internal/cluster"
+	"mps/internal/loadgen"
+)
+
+// scrapeMetrics GETs a node's /metrics over its real listener and parses
+// it with the same parser mpsload -scrape uses, so this test covers the
+// whole pipeline an operator's Prometheus would: render, transport, parse.
+func scrapeMetrics(t *testing.T, baseURL string) *loadgen.Scrape {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET %s/metrics: %v", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s/metrics: status %d", baseURL, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q, want text/plain exposition", ct)
+	}
+	s, err := loadgen.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing %s/metrics: %v", baseURL, err)
+	}
+	return s
+}
+
+// hasSeries reports whether the scrape holds any series whose rendered
+// identity starts with prefix (use "name{" to demand a labeled child).
+func hasSeries(s *loadgen.Scrape, prefix string) bool {
+	for id := range s.Values {
+		if strings.HasPrefix(id, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterMetricsEndToEnd drives real traffic through a two-node fleet
+// and checks the /metrics surface end to end: both nodes export the key
+// families, cross-node accounting agrees (the entry node's forward count
+// equals the peer's forwarded-served count), per-stage attribution lands
+// on the node that did the work, and the job queue gauges read drained
+// once the traffic completes.
+func TestClusterMetricsEndToEnd(t *testing.T) {
+	fleet := newTestFleet(t, fleetConfig{
+		n: 2,
+		cluster: func(cfg *cluster.Config) {
+			// One replica per key: every read of a peer-owned key forwards,
+			// which is what makes forward/forwarded-served counts equal.
+			cfg.Replicas = 1
+		},
+		serve: func(cfg *Config) {
+			// A 1ns threshold makes every request a slow query, so the
+			// slow-query counter and log line are on the tested path.
+			cfg.SlowQuery = time.Nanosecond
+		},
+	})
+	entry, peer := fleet.nodes[0], fleet.nodes[1]
+	spec := fleet.specOwnedBy(t, 1, 700)
+
+	// One forwarded generate plus several forwarded instantiates through
+	// the non-owner, and one instantiate served by the owner directly.
+	status, _, body := doClusterJSON(t, http.MethodPost, entry.url+"/v1/structures", spec, nil)
+	if status != http.StatusOK {
+		t.Fatalf("generate via entry: %d %s", status, body)
+	}
+	instReq := map[string]any{"spec": spec, "queries": []any{testQuery(t, 0), testQuery(t, 1)}}
+	const instantiates = 4
+	for i := 0; i < instantiates; i++ {
+		if status, _, body := doClusterJSON(t, http.MethodPost, entry.url+"/v1/instantiate", instReq, nil); status != http.StatusOK {
+			t.Fatalf("instantiate %d via entry: %d %s", i, status, body)
+		}
+	}
+	if status, _, body := doClusterJSON(t, http.MethodPost, peer.url+"/v1/instantiate", instReq, nil); status != http.StatusOK {
+		t.Fatalf("instantiate via owner: %d %s", status, body)
+	}
+
+	entryScrape := scrapeMetrics(t, entry.url)
+	peerScrape := scrapeMetrics(t, peer.url)
+
+	// Every key family is present on both nodes — the same check the CI
+	// cluster smoke greps for against real daemons.
+	for _, prefix := range []string{
+		"mps_http_requests_total{",
+		"mps_http_request_duration_seconds_bucket{",
+		"mps_http_request_duration_seconds_count{",
+		"mps_stage_ops_total{",
+		"mps_jobs_transitions_total{",
+		"mps_jobs_running",
+		"mps_cluster_events_total{",
+		"mps_cluster_ring_share{",
+		"mps_cache_entries",
+		"mps_generation_runs_total",
+	} {
+		for name, s := range map[string]*loadgen.Scrape{"entry": entryScrape, "peer": peerScrape} {
+			if !hasSeries(s, prefix) {
+				t.Errorf("%s node /metrics missing series %s...", name, prefix)
+			}
+		}
+	}
+
+	// Cross-node accounting: every client request the entry node forwarded
+	// was served by the peer as forwarded traffic — and the scrape agrees
+	// with the in-memory cluster stats it is derived from.
+	wantForwards := 1 + instantiates
+	if got := entryScrape.Sum("mps_cluster_events_total", map[string]string{"event": "forward"}); got != float64(wantForwards) {
+		t.Errorf("entry forward events = %v, want %d", got, wantForwards)
+	}
+	if got := int(entry.c.Stats().Forwards); got != wantForwards {
+		t.Errorf("entry in-memory forwards = %d, want %d", got, wantForwards)
+	}
+	if fwd, served := entryScrape.Sum("mps_cluster_events_total", map[string]string{"event": "forward"}),
+		peerScrape.Sum("mps_forwarded_served_total", nil); fwd != served {
+		t.Errorf("entry forwards (%v) != peer forwarded-served (%v): peer-protocol traffic leaked into the client counter", fwd, served)
+	}
+	if got := entryScrape.Sum("mps_forwarded_served_total", nil); got != 0 {
+		t.Errorf("entry forwarded-served = %v, want 0 (no one forwards to a non-owner)", got)
+	}
+
+	// The annealing ran once, on the owner — the migrated healthz counter
+	// reads the same through /metrics.
+	if got := peerScrape.Sum("mps_generation_runs_total", nil); got != 1 {
+		t.Errorf("peer generation runs = %v, want 1", got)
+	}
+	if got := entryScrape.Sum("mps_generation_runs_total", nil); got != 0 {
+		t.Errorf("entry generation runs = %v, want 0", got)
+	}
+
+	// Stage attribution follows the work: the entry node spent its time
+	// forwarding, the owner instantiating and encoding.
+	if got := entryScrape.Sum("mps_stage_ops_total", map[string]string{"stage": "forward"}); got < float64(wantForwards) {
+		t.Errorf("entry forward spans = %v, want >= %d", got, wantForwards)
+	}
+	for _, stage := range []string{"instantiate", "encode", "job_wait"} {
+		if got := peerScrape.Sum("mps_stage_ops_total", map[string]string{"stage": stage}); got == 0 {
+			t.Errorf("peer recorded no %s spans", stage)
+		}
+	}
+
+	// Request accounting: the entry node saw the generate and the forwarded
+	// instantiates on their routes, all 200s; the histogram count matches.
+	if got := entryScrape.Sum("mps_http_requests_total", map[string]string{"route": "structures", "code": "200"}); got != 1 {
+		t.Errorf("entry structures requests = %v, want 1", got)
+	}
+	if got := entryScrape.Sum("mps_http_requests_total", map[string]string{"route": "instantiate", "code": "200"}); got != float64(instantiates) {
+		t.Errorf("entry instantiate requests = %v, want %d", got, instantiates)
+	}
+	if got := entryScrape.Sum("mps_http_request_duration_seconds_count", map[string]string{"route": "instantiate"}); got != float64(instantiates) {
+		t.Errorf("entry instantiate histogram count = %v, want %d", got, instantiates)
+	}
+	if d, ok := entryScrape.HistogramQuantile("mps_http_request_duration_seconds",
+		map[string]string{"route": "instantiate"}, 0.5); !ok || d <= 0 {
+		t.Errorf("entry instantiate p50 = (%v, %v), want a positive reconstructed quantile", d, ok)
+	}
+
+	// The queue drained: traffic is done, so no priority holds queued jobs
+	// and nothing is running (gauges are non-negative, so a zero sum means
+	// every series is zero or absent).
+	for name, s := range map[string]*loadgen.Scrape{"entry": entryScrape, "peer": peerScrape} {
+		if got := s.Sum("mps_jobs_queue_depth", nil); got != 0 {
+			t.Errorf("%s node queue depth = %v after traffic drained, want 0", name, got)
+		}
+		if got := s.Sum("mps_jobs_running", nil); got != 0 {
+			t.Errorf("%s node running jobs = %v after traffic drained, want 0", name, got)
+		}
+	}
+
+	// The peer completed at least the generate job through the scheduler.
+	if got := peerScrape.Sum("mps_jobs_transitions_total", map[string]string{"event": "done"}); got < 1 {
+		t.Errorf("peer completed jobs = %v, want >= 1", got)
+	}
+
+	// The 1ns threshold flagged everything as slow on both nodes.
+	for name, s := range map[string]*loadgen.Scrape{"entry": entryScrape, "peer": peerScrape} {
+		if got := s.Sum("mps_slow_queries_total", nil); got == 0 {
+			t.Errorf("%s node slow-query counter never fired under a 1ns threshold", name)
+		}
+	}
+
+	// Contacting the peer materialized its breaker series, reading closed.
+	if !hasSeries(entryScrape, "mps_cluster_breaker_state{") {
+		t.Error("entry node exports no breaker series despite contacting its peer")
+	} else if got := entryScrape.Sum("mps_cluster_breaker_state", map[string]string{"peer": peer.c.Self()}); got != 0 {
+		t.Errorf("breaker state for healthy peer = %v, want 0 (closed)", got)
+	}
+
+	// Ring shares sum to 1 on each node (both export the full membership).
+	for name, s := range map[string]*loadgen.Scrape{"entry": entryScrape, "peer": peerScrape} {
+		if got := s.Sum("mps_cluster_ring_share", nil); got < 0.999 || got > 1.001 {
+			t.Errorf("%s node ring shares sum to %v, want 1", name, got)
+		}
+	}
+
+	// /metrics observes itself: the scrape above lands in the route
+	// counter, visible to the next scrape.
+	second := scrapeMetrics(t, entry.url)
+	if got := second.Sum("mps_http_requests_total", map[string]string{"route": "metrics"}); got < 1 {
+		t.Errorf("metrics route count = %v after a scrape, want >= 1", got)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"mps/internal/circuits"
 	"mps/internal/cluster"
 	"mps/internal/jobs"
+	"mps/internal/obs"
 	"mps/internal/store"
 )
 
@@ -107,6 +108,11 @@ type Config struct {
 	// Logf, when non-nil, receives operational log lines (store persist
 	// or warm-load failures). Nil discards them; counters still track.
 	Logf func(format string, args ...any)
+	// SlowQuery, when positive, logs every request that takes at least
+	// this long as a one-line JSON record through Logf, with the
+	// per-stage time breakdown naming where the time went. Zero disables
+	// the log; the mps_slow_queries_total counter tracks either way.
+	SlowQuery time.Duration
 }
 
 func (cfg Config) withDefaults() Config {
@@ -145,16 +151,22 @@ type Server struct {
 	// the configured maximum.
 	batchSlots chan struct{}
 
+	// metrics is the server's observability registry plus the hot-path
+	// metric children; the genRuns/persistErrs/loadErrs fields below
+	// alias its counters so the incrementing code (and tests calling
+	// Load) reads the same as when they were plain atomics.
+	metrics *serverMetrics
+
 	// genRuns counts full annealing runs started — not cache or store
 	// hits — so tests and operators can verify warm-started structures
 	// are served without regeneration.
-	genRuns atomic.Int64
+	genRuns *obs.Counter
 	// persistWG tracks in-flight background store writes; persistErrs
 	// counts the ones that failed and loadErrs the store reads that did
 	// (both also reported through Logf).
 	persistWG   sync.WaitGroup
-	persistErrs atomic.Int64
-	loadErrs    atomic.Int64
+	persistErrs *obs.Counter
+	loadErrs    *obs.Counter
 
 	mu    sync.Mutex
 	cache map[string]*entry
@@ -234,7 +246,7 @@ func New(cfg Config) *Server {
 			Logf:    cfg.Logf,
 		})
 	}
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		sched:      sched,
 		cluster:    cfg.Cluster,
@@ -242,6 +254,11 @@ func New(cfg Config) *Server {
 		cache:      make(map[string]*entry),
 		order:      list.New(),
 	}
+	s.metrics = newServerMetrics(s)
+	s.genRuns = s.metrics.genRuns
+	s.persistErrs = s.metrics.persistErrs
+	s.loadErrs = s.metrics.loadErrs
+	return s
 }
 
 // Close shuts down the server's job scheduler: queued jobs are abandoned,
@@ -434,6 +451,7 @@ func (s *Server) evictLocked() {
 		}
 		s.order.Remove(victim)
 		delete(s.cache, victim.Value.(*entry).key)
+		s.metrics.cacheEvictions.Inc()
 	}
 }
 
@@ -443,7 +461,11 @@ func (s *Server) evictLocked() {
 // e.waiters.Add(-1) when done with it. The returned bool reports a true
 // cache hit: the entry had already finished, not merely landing on an
 // in-flight one.
-func (s *Server) ensure(spec GenerateSpec, priority int) (*entry, bool) {
+//
+// tr is the requesting trace (nil for background callers): the first
+// caller runs the inline read-through, so its trace gets the store-read
+// and compile spans; later callers land on the same entry and wait.
+func (s *Server) ensure(tr *obs.Trace, spec GenerateSpec, priority int) (*entry, bool) {
 	key := spec.key()
 	s.mu.Lock()
 	e, hit := s.cache[key]
@@ -458,7 +480,7 @@ func (s *Server) ensure(spec GenerateSpec, priority int) (*entry, bool) {
 	}
 	e.waiters.Add(1)
 	s.mu.Unlock()
-	e.start.Do(func() { s.startWork(e) })
+	e.start.Do(func() { s.startWork(tr, e) })
 	return e, wasDone
 }
 
@@ -468,9 +490,9 @@ func (s *Server) ensure(spec GenerateSpec, priority int) (*entry, bool) {
 // specs branch into the member fan-out instead. Exactly one of the
 // resulting paths — store hit, submit failure, the job's run, or the
 // job's abandon hook — calls publish, which closes e.ready.
-func (s *Server) startWork(e *entry) {
+func (s *Server) startWork(tr *obs.Trace, e *entry) {
 	if e.spec.Portfolio > 1 {
-		s.startPortfolioWork(e)
+		s.startPortfolioWork(tr, e)
 		return
 	}
 	specJSON, err := json.Marshal(e.spec)
@@ -484,7 +506,7 @@ func (s *Server) startWork(e *entry) {
 	// missing entry) fall through to a fresh generation. The job history
 	// still records the materialization (RecordDone), so /v1/jobs answers
 	// for warm keys too.
-	if st, stats, err := s.loadFromStore(e.spec); err == nil && st != nil {
+	if st, stats, err := s.loadFromStore(tr, e.spec); err == nil && st != nil {
 		if snap, err := s.sched.RecordDone(e.key, specJSON, jobs.Progress{
 			Placements: st.NumPlacements(),
 			Coverage:   stats.FinalCoverage,
@@ -502,7 +524,7 @@ func (s *Server) startWork(e *entry) {
 	// K members. remoteWork degrades to submitGeneration when no peer can
 	// help, so exactly one path publishes either way.
 	if s.cluster != nil && !s.cluster.Owns(e.key) {
-		go s.remoteWork(e, specJSON)
+		go s.remoteWork(tr, e, specJSON)
 		return
 	}
 	s.submitGeneration(e, specJSON)
@@ -612,12 +634,12 @@ func (s *Server) runGeneration(ctx context.Context, spec GenerateSpec, report fu
 // the grouping row exists for Warm and listings. This is the one place
 // the scheduler runs cooperative multi-job work for a single logical
 // artifact: the K jobs proceed in parallel up to the worker-pool bound.
-func (s *Server) startPortfolioWork(e *entry) {
+func (s *Server) startPortfolioWork(tr *obs.Trace, e *entry) {
 	k := e.spec.Portfolio
 	members := make([]*entry, k)
 	memberIDs := make([]string, 0, k)
 	for i := 0; i < k; i++ {
-		me, _ := s.ensure(e.spec.memberSpec(i), e.priority)
+		me, _ := s.ensure(tr, e.spec.memberSpec(i), e.priority)
 		members[i] = me
 		s.mu.Lock()
 		if me.jobID != "" {
@@ -744,7 +766,7 @@ func (s *Server) loadPortfolioFromStore(spec GenerateSpec) (*mps.Portfolio, mps.
 			members[i] = me.s
 			continue
 		}
-		st, _, err := s.loadFromStore(mspec)
+		st, _, err := s.loadFromStore(nil, mspec)
 		if err != nil || st == nil {
 			return nil, mps.Stats{}, err
 		}
@@ -794,11 +816,18 @@ func (s *Server) persistPortfolio(spec GenerateSpec, p *mps.Portfolio, members [
 // the entry had already finished generating — not merely landing on an
 // in-flight entry and waiting for it.
 func (s *Server) structureFor(ctx context.Context, spec GenerateSpec) (*entry, bool, error) {
-	e, wasDone := s.ensure(spec, 0)
+	tr := obs.TraceFrom(ctx)
+	cacheStart := time.Now()
+	e, wasDone := s.ensure(tr, spec, 0)
+	// The cache span covers lookup plus any inline read-through ensure ran
+	// on this goroutine (store_read/compile overlap it by design).
+	s.metrics.observe(tr, obs.StageCache, time.Since(cacheStart))
 	defer e.waiters.Add(-1)
 	select {
 	case <-e.ready:
 	default:
+		waitStart := time.Now()
+		defer func() { s.metrics.observe(tr, obs.StageJobWait, time.Since(waitStart)) }()
 		select {
 		case <-e.ready:
 		case <-ctx.Done():
@@ -878,8 +907,9 @@ func (s *Server) publish(e *entry, st *mps.Structure, stats mps.Stats, err error
 // (nil, _, nil) means "not available" — no store configured or no entry
 // for the key; an error means an entry existed but could not be loaded
 // (corrupt file, circuit mismatch), which callers also treat as a miss
-// after counting it.
-func (s *Server) loadFromStore(spec GenerateSpec) (*mps.Structure, mps.Stats, error) {
+// after counting it. The read and compile phases record as store_read
+// and compile spans on tr (nil for background callers).
+func (s *Server) loadFromStore(tr *obs.Trace, spec GenerateSpec) (*mps.Structure, mps.Stats, error) {
 	if s.cfg.Store == nil {
 		return nil, mps.Stats{}, nil
 	}
@@ -891,7 +921,9 @@ func (s *Server) loadFromStore(spec GenerateSpec) (*mps.Structure, mps.Stats, er
 	if err != nil {
 		return nil, mps.Stats{}, err
 	}
+	readStart := time.Now()
 	cs, meta, err := s.cfg.Store.Get(key, circuit)
+	s.metrics.observe(tr, obs.StageStoreRead, time.Since(readStart))
 	if err != nil {
 		s.loadErrs.Add(1)
 		s.logf("store: loading %s: %v (regenerating)", key, err)
@@ -904,7 +936,9 @@ func (s *Server) loadFromStore(spec GenerateSpec) (*mps.Structure, mps.Stats, er
 	// (placements + compiled tables), so this is a cache hit — core.Load
 	// attached the index during decode; only a legacy v2 file compiles
 	// here, still off the request path.
+	compileStart := time.Now()
 	st.Compiled()
+	s.metrics.observe(tr, obs.StageCompile, time.Since(compileStart))
 	// The manifest's coverage snapshot is all that survives a restart;
 	// the rest of the generation stats belong to the process that ran
 	// the annealer.
@@ -970,7 +1004,7 @@ func (s *Server) Warm(limit int) (int, error) {
 			s.logf("warm: manifest key %s does not match its spec (key drift)", meta.Key)
 			continue
 		}
-		st, stats, err := s.loadFromStore(spec)
+		st, stats, err := s.loadFromStore(nil, spec)
 		if err != nil || st == nil {
 			continue // already logged and counted
 		}
@@ -1082,7 +1116,7 @@ func (s *Server) ResumeInterrupted() int {
 			s.logf("resume %s: %v", snap.ID, err)
 			continue
 		}
-		e, _ := s.ensure(spec, snap.Priority)
+		e, _ := s.ensure(nil, spec, snap.Priority)
 		e.waiters.Add(-1) // fire and forget: nobody waits on a resumed job
 		resumed++
 	}
@@ -1124,6 +1158,7 @@ func (s *Server) lookup(key string) (*entry, bool) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	mux.HandleFunc("/v1/circuits", s.handleCircuits)
 	mux.HandleFunc("/v1/structures", s.handleStructures)
 	mux.HandleFunc("/v1/instantiate", s.handleInstantiate)
@@ -1132,15 +1167,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	if s.cluster == nil {
-		return mux
+		return s.instrument(mux)
 	}
 	mux.HandleFunc("GET /v1/cluster/structure", s.handleClusterStructure)
 	mux.HandleFunc("POST /v1/cluster/accept", s.handleClusterAccept)
 	mux.HandleFunc("POST /v1/cluster/rebalance", s.handleClusterRebalance)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	// instrument sits outermost so the latency histogram includes forward
+	// relays and the slow-query log sees the final ServedBy header.
+	return s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(cluster.ServedByHeader, s.cluster.Self())
 		mux.ServeHTTP(w, r)
-	})
+	}))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -1389,7 +1426,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	e, _ := s.ensure(spec, req.Priority)
+	e, _ := s.ensure(obs.TraceFrom(r.Context()), spec, req.Priority)
 	defer e.waiters.Add(-1)
 	s.mu.Lock()
 	id := e.jobID
@@ -1599,14 +1636,20 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 	// sub-millisecond cached traffic. Requests shed while queued get a 503
 	// so the access log does not count shed load as success. Per-request
 	// decode memory is bounded by MaxBatch (see withDefaults).
+	tr := obs.TraceFrom(ctx)
+	slotStart := time.Now()
 	select {
 	case s.batchSlots <- struct{}{}:
+		s.metrics.observe(tr, obs.StageBatchWait, time.Since(slotStart))
 		defer func() { <-s.batchSlots }()
 	case <-r.Context().Done():
+		s.metrics.observe(tr, obs.StageBatchWait, time.Since(slotStart))
 		writeError(w, http.StatusServiceUnavailable, "canceled while queued for a batch slot")
 		return
 	}
+	instStart := time.Now()
 	batch := e.batcher().InstantiateBatchWorkers(queries, s.cfg.Workers)
+	s.metrics.observe(tr, obs.StageInstantiate, time.Since(instStart))
 
 	results := make([]queryResult, len(batch))
 	served := 0
@@ -1624,11 +1667,13 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 			FromBackup:  br.FromBackup,
 		}
 	}
+	encStart := time.Now()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"key":     e.key,
 		"served":  served,
 		"results": results,
 	})
+	s.metrics.observe(tr, obs.StageEncode, time.Since(encStart))
 }
 
 // maxQueryBytes is a generous upper bound on the JSON size of one

@@ -194,6 +194,29 @@ func (d *Dir) Len() int {
 	return len(d.entries)
 }
 
+// Stats is a scrape-time snapshot of the store's footprint, shaped for
+// gauge export.
+type Stats struct {
+	// Entries and Portfolios are manifest row counts.
+	Entries    int
+	Portfolios int
+	// Bytes is the summed size of all persisted structure files, from the
+	// manifest rows (no disk walk).
+	Bytes int64
+}
+
+// Stats returns the current footprint. It reads only the in-memory
+// manifest maps, so it is cheap enough for every metrics scrape.
+func (d *Dir) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := Stats{Entries: len(d.entries), Portfolios: len(d.portfolios)}
+	for _, e := range d.entries {
+		st.Bytes += e.Bytes
+	}
+	return st
+}
+
 // Put persists the structure under meta.Key, overwriting any previous
 // entry for that key. The structure file is written atomically before the
 // manifest row lands, so a crash between the two leaves at worst an
