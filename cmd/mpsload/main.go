@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -52,6 +53,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of the table")
 	scrape := flag.Bool("scrape", false,
 		"scrape /metrics from every target before and after the run and print client-vs-server p50/p99 from the diff")
+	trace := flag.Bool("trace", false,
+		"after the run, fetch and render the assembled span tree for the slowest traced request of each op")
 	flag.Parse()
 
 	cfg := loadgen.Config{
@@ -134,9 +137,57 @@ func main() {
 			fmt.Print(res.CompareServer(serverDiff))
 		}
 	}
+	if *trace {
+		printTraces(res, scrapeClient, *asJSON)
+	}
 	if *smoke && (res.Errors > 0 || res.Requests == 0) {
 		fmt.Fprintf(os.Stderr, "mpsload: smoke run saw %d errors over %d requests\n", res.Errors, res.Requests)
 		os.Exit(1)
+	}
+}
+
+// printTraces fetches the assembled span tree for each op's slowest
+// traced request (the exemplars the result carries) and renders it. The
+// entry node assembles the cross-node tree server-side; failures are
+// reported per trace and never change the exit status — tracing is a
+// diagnostic overlay, not part of the measurement.
+func printTraces(res *loadgen.Result, client *http.Client, asJSON bool) {
+	exemplars := res.Exemplars()
+	if len(exemplars) == 0 {
+		fmt.Fprintln(os.Stderr, "mpsload: no traced requests (do the targets serve X-Mps-Trace-Id?)")
+		return
+	}
+	ops := make([]string, 0, len(exemplars))
+	for op := range exemplars {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	out := os.Stdout
+	if asJSON {
+		// Keep stdout pure JSON for pipelines; trees go to stderr.
+		out = os.Stderr
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, op := range ops {
+		// Slowest first, falling through tail-sampled-out traces: the
+		// daemon only guarantees retention for slow, failed, and
+		// cross-node requests, so the very slowest may be gone.
+		rendered := false
+		for _, ex := range exemplars[op] {
+			at, err := loadgen.FetchTrace(ctx, client, ex.Target, ex.TraceID)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpsload: trace for %s (%s): %v\n", op, ex.TraceID, err)
+				continue
+			}
+			fmt.Fprintf(out, "\nslowest retained %s (client %s):\n%s", op, ex.Duration, loadgen.RenderTrace(at))
+			rendered = true
+			break
+		}
+		if !rendered {
+			fmt.Fprintf(os.Stderr,
+				"mpsload: no retained trace for %s — run mpsd with -trace-slow (or -slow-query) to pin slow traces\n", op)
+		}
 	}
 }
 

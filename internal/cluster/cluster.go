@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mps/internal/obs"
 )
 
 // Cluster is one node's routing brain: the ring for ownership decisions,
@@ -179,6 +181,11 @@ var ErrPeerDown = fmt.Errorf("cluster: peer breaker open")
 //
 // body may be nil; hdr entries are copied onto the request. The caller
 // owns the response body.
+//
+// When ctx carries a trace span (obs.ContextWithSpan), every attempt
+// records a child span naming the peer and the request ships an
+// X-Mps-Trace header, so the remote segment nests under this exact
+// network attempt — a retried forward shows each try separately.
 func (c *Cluster) Do(ctx context.Context, peer, method, path string, body []byte, hdr http.Header, timeout time.Duration) (*http.Response, error) {
 	br := c.breaker(peer)
 	if !br.Allow() {
@@ -188,6 +195,7 @@ func (c *Cluster) Do(ctx context.Context, peer, method, path string, body []byte
 	if timeout <= 0 {
 		timeout = c.cfg.ForwardTimeout
 	}
+	parent := obs.SpanFromContext(ctx)
 	var lastErr error
 	backoff := c.cfg.RetryBackoff
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
@@ -200,7 +208,10 @@ func (c *Cluster) Do(ctx context.Context, peer, method, path string, body []byte
 			}
 			backoff *= 2
 		}
-		resp, err := c.attempt(ctx, peer, method, path, body, hdr, timeout)
+		att := parent.StartChild()
+		att.SetRemote(peer)
+		resp, err := c.attempt(att, ctx, peer, method, path, body, hdr, timeout)
+		att.End()
 		if err == nil {
 			br.Success()
 			return resp, nil
@@ -215,8 +226,10 @@ func (c *Cluster) Do(ctx context.Context, peer, method, path string, body []byte
 	return nil, fmt.Errorf("cluster: forward to %s failed after %d attempts: %w", peer, c.cfg.Retries+1, lastErr)
 }
 
-// attempt is one bounded try against peer.
-func (c *Cluster) attempt(ctx context.Context, peer, method, path string, body []byte, hdr http.Header, timeout time.Duration) (*http.Response, error) {
+// attempt is one bounded try against peer. att, when backed by a trace,
+// stamps the propagation header so the peer's segment parents to this
+// attempt's span.
+func (c *Cluster) attempt(att obs.SpanRef, ctx context.Context, peer, method, path string, body []byte, hdr http.Header, timeout time.Duration) (*http.Response, error) {
 	actx, cancel := context.WithTimeout(ctx, timeout)
 	var rd io.Reader
 	if body != nil {
@@ -229,6 +242,9 @@ func (c *Cluster) attempt(ctx context.Context, peer, method, path string, body [
 	}
 	for k, vs := range hdr {
 		req.Header[k] = vs
+	}
+	if hv, ok := att.Header(); ok {
+		req.Header.Set(obs.TraceHeader, hv)
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {

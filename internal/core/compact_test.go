@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -193,5 +194,90 @@ func TestCompactChain(t *testing.T) {
 	p := s.Get(s.IDs()[0])
 	if p.WLo[0] != 1 || p.WHi[0] != 55 {
 		t.Errorf("chain merged to [%d,%d], want [1,55]", p.WLo[0], p.WHi[0])
+	}
+}
+
+// TestRenumberPacksIDsStably: after generation-style mutation (inserts
+// with resolution, then Compact) the ID space has holes; Renumber must
+// pack it densely without changing any query answer, and a renumbered
+// structure's IDs must survive a save/load round trip — the property the
+// cluster's artifact fetch relies on for replica-identical placement_ids.
+func TestRenumberPacksIDsStably(t *testing.T) {
+	c, fp := pairCircuit()
+	s := NewStructure(c, fp)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 40; i++ {
+		lo := 1 + rng.Intn(80)
+		hi := lo + rng.Intn(101-lo)
+		hlo := 1 + rng.Intn(80)
+		hhi := hlo + rng.Intn(101-hlo)
+		p := mk(1+rng.Float64()*9, [2]int{lo, hi}, [2]int{hlo, hhi}, full(), full())
+		if _, err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Compact()
+
+	probe := func(st *Structure) [][2]int {
+		out := make([][2]int, 0, 400)
+		prng := rand.New(rand.NewSource(5))
+		for k := 0; k < 400; k++ {
+			ws := []int{1 + prng.Intn(100), 1 + prng.Intn(100)}
+			hs := []int{1 + prng.Intn(100), 1 + prng.Intn(100)}
+			p, err := st.Query(ws, hs)
+			if err != nil {
+				out = append(out, [2]int{-1, -1})
+				continue
+			}
+			out = append(out, [2]int{p.X[0], p.Y[0]})
+		}
+		return out
+	}
+	before := probe(s)
+
+	s.Renumber()
+	ids := s.IDs()
+	if len(ids) != s.NumPlacements() {
+		t.Fatalf("%d ids for %d live placements", len(ids), s.NumPlacements())
+	}
+	for want, id := range ids {
+		if id != want {
+			t.Fatalf("ids %v not dense after Renumber", ids)
+		}
+		if got := s.Get(id); got == nil || got.ID != id {
+			t.Fatalf("placement at id %d has ID %v", id, got)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, probe(s)) {
+		t.Fatal("Renumber changed query results")
+	}
+
+	// ID stability across the wire format.
+	var buf bytes.Buffer
+	if err := s.SaveBinaryCompiled(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := rand.New(rand.NewSource(7))
+	for k := 0; k < 400; k++ {
+		ws := []int{1 + prng.Intn(100), 1 + prng.Intn(100)}
+		hs := []int{1 + prng.Intn(100), 1 + prng.Intn(100)}
+		want, errA := Compile(s).QueryID(ws, hs)
+		got, errB := Compile(loaded).QueryID(ws, hs)
+		if (errA == nil) != (errB == nil) || want != got {
+			t.Fatalf("query %d: id %d (err %v) before save, %d (err %v) after", k, want, errA, got, errB)
+		}
+	}
+
+	// Idempotence: a dense structure renumbers to itself.
+	s.Renumber()
+	if !reflect.DeepEqual(ids, s.IDs()) {
+		t.Fatal("second Renumber changed IDs")
 	}
 }

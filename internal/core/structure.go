@@ -157,6 +157,46 @@ func (s *Structure) delete(id int) {
 	s.alive--
 }
 
+// Renumber packs live placement IDs into the dense range [0, alive), in
+// ascending current-ID order, and rebuilds the affected row registrations.
+// Queries are unaffected except for the IDs they report.
+//
+// Serialization keeps only live placements, in ID order, and load re-stores
+// them densely — so a structure with ID holes answers QueryID differently
+// after a save/load round trip than before it. Renumbering a finished
+// structure (generation ends with deletes from overlap resolution and
+// Compact) makes its IDs stable across that round trip, which is what lets
+// cluster replicas that exchange v3 bytes report the same placement_id as
+// the owner's in-memory copy.
+func (s *Structure) Renumber() {
+	if len(s.placements) == s.alive {
+		return // already dense
+	}
+	s.compiled.Store(nil)
+	n := s.circuit.N()
+	next := 0
+	for id, p := range s.placements {
+		if p == nil {
+			continue
+		}
+		// next <= id always (holes only shrink the index), so the target
+		// slot is free or is p's own.
+		if id != next {
+			for i := 0; i < n; i++ {
+				s.wRows[i].Remove(id, p.WIv(i))
+				s.hRows[i].Remove(id, p.HIv(i))
+				s.wRows[i].Insert(next, p.WIv(i))
+				s.hRows[i].Insert(next, p.HIv(i))
+			}
+			p.ID = next
+			s.placements[next] = p
+			s.placements[id] = nil
+		}
+		next++
+	}
+	s.placements = s.placements[:next]
+}
+
 // shrinkRow narrows one validity interval of a stored placement in place,
 // updating the affected row. dim 0 is width, 1 is height.
 func (s *Structure) shrinkRow(p *placement.Placement, block, dim int, newIv geom.Interval) {

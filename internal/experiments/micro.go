@@ -201,6 +201,37 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 				reqCount.Inc()
 			}
 		}},
+		// The instrumented op plus the span layer a traced request pays:
+		// start a real span on the trace, do the work, commit the span,
+		// then offer the finished trace to a non-retaining store (the
+		// tail sampler's common case — fast, successful, local — is a
+		// lock-free discard). One trace serves 32 iterations, matching
+		// its span capacity, so every iteration commits a live span and
+		// the per-request NewTrace amortizes below the exact gate; the
+		// span path itself must contribute exactly 0 allocs/op.
+		{"mps_request_traced/TwoStageOpamp", func(b *testing.B) {
+			ts := obs.NewTraceStore("bench", 4, 0, 0)
+			rt := obs.NewTrace()
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				if i%32 == 0 {
+					rt = obs.NewTrace()
+				}
+				q := i % batchSize
+				span := rt.StartSpan(obs.StageInstantiate)
+				if err := cs.InstantiateInto(&res, cws[q], chs[q]); err != nil {
+					b.Fatal(err)
+				}
+				d := span.End()
+				stageDur.AddDuration(d)
+				stageOps.Inc()
+				reqHist.Observe(d)
+				reqCount.Inc()
+				if kept := ts.Offer(rt, "instantiate", "", 200, d); kept != "" {
+					b.Fatalf("non-retaining store kept a trace (%s)", kept)
+				}
+			}
+		}},
 		// Best-of-K routing on covered queries: K CoveredArea probes plus
 		// one InstantiateCoveredInto, all against compiled indices — the
 		// CI gate pins this at exactly 0 allocs/op.

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"mps/internal/obs"
 	"mps/internal/store"
 )
 
@@ -139,6 +140,15 @@ type Request struct {
 	// release waiters that would otherwise block on a run that will never
 	// happen. Called without scheduler locks held.
 	Abandon func(err error)
+	// Trace, when non-nil, receives a job_run span covering the Run
+	// invocation, parented under TraceParent (0 = the trace root) — the
+	// originating request's trace accounts for queue-side anneal time.
+	// Dedup-joined submitters do not get a span: the job belongs to the
+	// trace that submitted it. The reference is dropped as soon as the job
+	// reaches a terminal state (or is abandoned), so a retained trace
+	// never pins scheduler memory.
+	Trace       *obs.Trace
+	TraceParent obs.SpanID
 }
 
 // Config tunes a Scheduler.
@@ -186,6 +196,10 @@ type job struct {
 	run     RunFunc
 	onDone  func(Snapshot)
 	abandon func(error)
+	// trace/traceParent carry the submitting request's trace so the worker
+	// can record a job_run span; cleared with run at every terminal edge.
+	trace       *obs.Trace
+	traceParent obs.SpanID
 	// cancel is non-nil exactly while the job runs.
 	cancel context.CancelFunc
 	// heapIndex is the job's position in the pending heap, -1 off-heap.
@@ -347,6 +361,8 @@ func (s *Scheduler) Submit(req Request) (snap Snapshot, dedup bool, err error) {
 	j.run = req.Run
 	j.onDone = req.Done
 	j.abandon = req.Abandon
+	j.trace = req.Trace
+	j.traceParent = req.TraceParent
 	j.snap.State = StateQueued
 	s.active[req.Key] = j
 	heap.Push(&s.queue, j)
@@ -480,6 +496,7 @@ func (s *Scheduler) cancel(id string, onlyQueued, silent bool) (Snapshot, error)
 		j.snap.Finished = time.Now().UTC()
 		abandon := j.abandon
 		j.run, j.onDone, j.abandon = nil, nil, nil
+		j.trace, j.traceParent = nil, 0
 		close(j.done)
 		s.pruneLocked()
 		snap := j.snap
@@ -599,6 +616,7 @@ func (s *Scheduler) Close() {
 				abandons = append(abandons, j.abandon)
 			}
 			j.run, j.onDone, j.abandon = nil, nil, nil
+			j.trace, j.traceParent = nil, 0
 			close(j.done)
 		case StateRunning:
 			if j.cancel != nil {
@@ -634,17 +652,26 @@ func (s *Scheduler) worker() {
 		j.cancel = cancel
 		j.snap.State = StateRunning
 		j.snap.Started = time.Now().UTC()
+		trace, traceParent, key := j.trace, j.traceParent, j.snap.Key
 		s.mu.Unlock()
 		s.tot.started.Add(1)
 		s.saveState()
 
+		// Record the run under the submitter's trace: the anneal time a
+		// request spends waiting on this job lands in its span tree even
+		// when the work runs on a worker goroutine (or, via generate-on-
+		// owner, on another node). StartSpanUnder is nil-safe.
+		span := trace.StartSpanUnder(traceParent, obs.StageJobRun)
+		span.SetKey(key)
 		err := s.invoke(ctx, j)
+		span.End()
 		wasCancelled := ctx.Err() != nil // read before the releasing cancel below
 		cancel()
 
 		s.mu.Lock()
 		j.cancel = nil
 		j.run, j.abandon = nil, nil
+		j.trace, j.traceParent = nil, 0
 		onDone := j.onDone
 		j.onDone = nil
 		j.snap.Finished = time.Now().UTC()

@@ -159,11 +159,46 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
+// Exemplar links a measured client latency to the server-side trace that
+// explains it — the daemon returns its trace ID on every response
+// (X-Mps-Trace-Id), so the slowest request of a run can be looked up in
+// /v1/debug/traces/{id} and decomposed span by span.
+type Exemplar struct {
+	TraceID  string        `json:"trace_id,omitempty"`
+	Target   string        `json:"target,omitempty"`
+	Duration time.Duration `json:"duration_ns,omitempty"`
+}
+
+// slowKeep caps the exemplars each stat retains. A list, not a single
+// max: the server's tail sampler only guarantees retention for slow,
+// failed, and cross-node traces, so the single slowest request may have
+// been discarded — -trace walks the list until a fetch succeeds.
+const slowKeep = 8
+
 // OpStats is one histogram plus its error count — the unit of the
-// per-op and per-node result maps.
+// per-op and per-node result maps. Slowest holds the slowest traced
+// requests observed, slowest first, at most slowKeep (empty when no
+// response carried a trace ID).
 type OpStats struct {
-	Hist   Histogram
-	Errors int64
+	Hist    Histogram
+	Errors  int64
+	Slowest []Exemplar
+}
+
+// addExemplar inserts e into the slowest-first list, dropping the tail
+// beyond slowKeep.
+func (st *OpStats) addExemplar(e Exemplar) {
+	i := sort.Search(len(st.Slowest), func(i int) bool {
+		return st.Slowest[i].Duration < e.Duration
+	})
+	if i == slowKeep {
+		return
+	}
+	if len(st.Slowest) < slowKeep {
+		st.Slowest = append(st.Slowest, Exemplar{})
+	}
+	copy(st.Slowest[i+1:], st.Slowest[i:])
+	st.Slowest[i] = e
 }
 
 // Result is one load run's measurements.
@@ -192,12 +227,15 @@ func (r *Result) stats(m map[string]*OpStats, key string) *OpStats {
 	return st
 }
 
-func (r *Result) record(op, node string, d time.Duration, err error) {
+func (r *Result) record(op, node string, d time.Duration, err error, traceID string) {
 	r.Requests++
 	for _, st := range []*OpStats{r.stats(r.Ops, op), r.stats(r.Nodes, node)} {
 		st.Hist.Observe(d)
 		if err != nil {
 			st.Errors++
+		}
+		if traceID != "" {
+			st.addExemplar(Exemplar{TraceID: traceID, Target: node, Duration: d})
 		}
 	}
 	if err != nil {
@@ -206,15 +244,18 @@ func (r *Result) record(op, node string, d time.Duration, err error) {
 }
 
 func (r *Result) merge(o *Result) {
+	mergeStats := func(dst, src *OpStats) {
+		dst.Hist.Merge(&src.Hist)
+		dst.Errors += src.Errors
+		for _, e := range src.Slowest {
+			dst.addExemplar(e)
+		}
+	}
 	for op, st := range o.Ops {
-		dst := r.stats(r.Ops, op)
-		dst.Hist.Merge(&st.Hist)
-		dst.Errors += st.Errors
+		mergeStats(r.stats(r.Ops, op), st)
 	}
 	for node, st := range o.Nodes {
-		dst := r.stats(r.Nodes, node)
-		dst.Hist.Merge(&st.Hist)
-		dst.Errors += st.Errors
+		mergeStats(r.stats(r.Nodes, node), st)
 	}
 	r.Requests += o.Requests
 	r.Errors += o.Errors
@@ -276,11 +317,11 @@ func (w *worker) run(ctx context.Context) {
 		op := w.pickOp()
 		target := w.cfg.Targets[w.rng.Intn(len(w.cfg.Targets))]
 		start := time.Now()
-		err := w.do(ctx, op, target)
+		traceID, err := w.do(ctx, op, target)
 		if ctx.Err() != nil && err != nil {
 			return // the deadline cut this request off; don't count the cut
 		}
-		w.res.record(op, target, time.Since(start), err)
+		w.res.record(op, target, time.Since(start), err, traceID)
 	}
 }
 
@@ -328,7 +369,7 @@ func (w *worker) query() map[string][]int {
 	return map[string][]int{"ws": ws, "hs": hs}
 }
 
-func (w *worker) do(ctx context.Context, op, target string) error {
+func (w *worker) do(ctx context.Context, op, target string) (string, error) {
 	switch op {
 	case "generate":
 		return w.post(ctx, target+"/v1/structures", w.spec(1))
@@ -346,29 +387,32 @@ func (w *worker) do(ctx context.Context, op, target string) error {
 	}
 }
 
-func (w *worker) post(ctx context.Context, url string, body any) error {
+// post sends one request and returns the trace ID the daemon stamped on
+// the response (empty against an untraced server).
+func (w *worker) post(ctx context.Context, url string, body any) (string, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
-		return err
+		return "", err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
 	if err != nil {
-		return err
+		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.client.Do(req)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
+	traceID := resp.Header.Get(obs.TraceIDHeader)
 	msg, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return err
+		return traceID, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg))
+		return traceID, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg))
 	}
-	return nil
+	return traceID, nil
 }
 
 // quantiles rendered in the table and the JSON summary.
@@ -407,7 +451,31 @@ func (r *Result) Table() string {
 	writeRows("node ", r.Nodes)
 	fmt.Fprintf(&b, "%-40s %8d %6d  (%.1f req/s over %s)\n", "total", r.Requests, r.Errors,
 		float64(r.Requests)/r.Elapsed.Seconds(), r.Elapsed.Round(time.Millisecond))
+	if ex := r.Exemplars(); len(ex) > 0 {
+		fmt.Fprintf(&b, "\nslowest traced requests (GET <target>/v1/debug/traces/<trace>):\n")
+		names := make([]string, 0, len(ex))
+		for op := range ex {
+			names = append(names, op)
+		}
+		sort.Strings(names)
+		for _, op := range names {
+			e := ex[op][0]
+			fmt.Fprintf(&b, "  %-12s %9s  trace %s  via %s\n", op, fmtDur(e.Duration), e.TraceID, e.Target)
+		}
+	}
 	return b.String()
+}
+
+// Exemplars returns the per-op slowest traced requests, slowest first
+// (ops whose server returned no trace ID are absent).
+func (r *Result) Exemplars() map[string][]Exemplar {
+	out := map[string][]Exemplar{}
+	for op, st := range r.Ops {
+		if len(st.Slowest) > 0 {
+			out[op] = st.Slowest
+		}
+	}
+	return out
 }
 
 // fmtDur renders a latency with three significant-ish digits.
@@ -425,11 +493,13 @@ func fmtDur(d time.Duration) string {
 }
 
 // StatSummary is the machine-readable form of one OpStats row:
-// millisecond floats, ready for jq or a plotting script.
+// millisecond floats, ready for jq or a plotting script. SlowestTrace
+// names the server-side trace of the slowest request as an exemplar.
 type StatSummary struct {
-	Count  int64              `json:"count"`
-	Errors int64              `json:"errors"`
-	MS     map[string]float64 `json:"ms"`
+	Count        int64              `json:"count"`
+	Errors       int64              `json:"errors"`
+	MS           map[string]float64 `json:"ms"`
+	SlowestTrace *Exemplar          `json:"slowest_trace,omitempty"`
 }
 
 // Summary converts the result to its JSON-friendly form.
@@ -444,7 +514,12 @@ func (r *Result) Summary() map[string]any {
 			for _, tq := range tableQuantiles {
 				ms[tq.label] = float64(st.Hist.Quantile(tq.q)) / float64(time.Millisecond)
 			}
-			out[name] = StatSummary{Count: st.Hist.Count(), Errors: st.Errors, MS: ms}
+			row := StatSummary{Count: st.Hist.Count(), Errors: st.Errors, MS: ms}
+			if len(st.Slowest) > 0 {
+				ex := st.Slowest[0]
+				row.SlowestTrace = &ex
+			}
+			out[name] = row
 		}
 		return out
 	}

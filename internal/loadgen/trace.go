@@ -1,0 +1,112 @@
+// Trace rendering for mpsload -trace: after a run, the slowest traced
+// request per op (see Exemplars) is fetched from its entry node's
+// /v1/debug/traces/{id} endpoint — which assembles the cross-node span
+// tree server-side — and rendered as an indented text tree so a slow
+// tail percentile can be decomposed into stages without leaving the
+// terminal.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"mps/internal/obs"
+)
+
+// FetchTrace pulls the assembled cross-node trace for id from target.
+// The target does the assembly (pulling remote segments from the peers
+// its spans name); the client just decodes the merged tree.
+func FetchTrace(ctx context.Context, client *http.Client, target, id string) (*obs.AssembledTrace, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimRight(target, "/") + "/v1/debug/traces/" + id
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var at obs.AssembledTrace
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&at); err != nil {
+		return nil, fmt.Errorf("decoding trace %s: %w", id, err)
+	}
+	return &at, nil
+}
+
+// RenderTrace formats an assembled trace as an indented span tree, one
+// span per line with its node, key, remote target, offset from trace
+// start, and duration. Orphan spans (parent not in the fetched set —
+// a missing segment) render as extra roots so nothing is hidden.
+func RenderTrace(at *obs.AssembledTrace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  %s  nodes=%s",
+		at.ID, time.Duration(at.DurationNs), strings.Join(at.Nodes, ","))
+	if at.Partial {
+		b.WriteString("  PARTIAL")
+	}
+	if len(at.Missing) > 0 {
+		fmt.Fprintf(&b, "  missing=%s", strings.Join(at.Missing, ","))
+	}
+	b.WriteByte('\n')
+
+	present := make(map[obs.SpanID]bool, len(at.Spans))
+	children := make(map[obs.SpanID][]int, len(at.Spans))
+	for i := range at.Spans {
+		present[at.Spans[i].ID] = true
+	}
+	var roots []int
+	for i := range at.Spans {
+		p := at.Spans[i].Parent
+		if p == 0 || !present[p] {
+			roots = append(roots, i)
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool {
+			return at.Spans[idx[a]].StartUnixNs < at.Spans[idx[b]].StartUnixNs
+		})
+	}
+	byStart(roots)
+
+	var render func(idx, depth int)
+	render = func(idx, depth int) {
+		sp := &at.Spans[idx]
+		fmt.Fprintf(&b, "%s%-12s", strings.Repeat("  ", depth+1), sp.Stage)
+		if sp.Node != "" {
+			fmt.Fprintf(&b, "  node=%s", sp.Node)
+		}
+		if sp.Remote != "" {
+			fmt.Fprintf(&b, "  remote=%s", sp.Remote)
+		}
+		if sp.Key != "" {
+			fmt.Fprintf(&b, "  key=%s", sp.Key)
+		}
+		fmt.Fprintf(&b, "  +%s  %s\n",
+			time.Duration(sp.StartUnixNs-at.StartUnixNs), time.Duration(sp.DurationNs))
+		kids := children[sp.ID]
+		byStart(kids)
+		for _, k := range kids {
+			render(k, depth+1)
+		}
+	}
+	for _, rt := range roots {
+		render(rt, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	id := TraceID{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210}
+	span := SpanID(0xdeadbeefcafef00d)
+	v := EncodeTraceHeader(id, span)
+	if want := "v1;id=0123456789abcdeffedcba9876543210;span=deadbeefcafef00d"; v != want {
+		t.Fatalf("EncodeTraceHeader = %q, want %q", v, want)
+	}
+	gotID, gotSpan, ok := ParseTraceHeader(v)
+	if !ok || gotID != id || gotSpan != span {
+		t.Fatalf("ParseTraceHeader(%q) = (%v, %v, %v), want (%v, %v, true)", v, gotID, gotSpan, ok, id, span)
+	}
+}
+
+func TestTraceHeaderRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"v1",
+		"v1;id=;span=",
+		"v2;id=0123456789abcdeffedcba9876543210;span=deadbeefcafef00d",
+		"v1;id=0123456789ABCDEFfedcba9876543210;span=deadbeefcafef00d", // uppercase
+		"v1;id=0123456789abcdeffedcba987654321;span=deadbeefcafef00dd", // shifted widths
+		"v1;id=00000000000000000000000000000000;span=deadbeefcafef00d", // zero trace id
+		"v1;id=0123456789abcdeffedcba9876543210;span=deadbeefcafef00",  // short span
+		strings.Repeat("a", 1000),
+	}
+	for _, v := range bad {
+		if id, span, ok := ParseTraceHeader(v); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted: id=%v span=%v", v, id, span)
+		}
+	}
+}
+
+func TestIDJSONRoundTrip(t *testing.T) {
+	type doc struct {
+		T TraceID `json:"t"`
+		S SpanID  `json:"s"`
+	}
+	in := doc{T: TraceID{Hi: 1, Lo: 0xabc}, S: SpanID(42)}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out doc
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestNewTraceIdentities(t *testing.T) {
+	a, b := NewTrace(), NewTrace()
+	if a.ID().IsZero() || b.ID().IsZero() {
+		t.Fatal("NewTrace produced a zero trace ID")
+	}
+	if a.ID() == b.ID() {
+		t.Fatal("two traces share an ID")
+	}
+	if a.RootSpan() == 0 {
+		t.Fatal("zero root span")
+	}
+	if a.ParentSpan() != 0 || a.CrossNode() {
+		t.Fatal("fresh trace claims a remote parent")
+	}
+
+	linked := NewLinkedTrace(a.ID(), a.RootSpan())
+	if linked.ID() != a.ID() {
+		t.Fatal("linked trace did not adopt the propagated ID")
+	}
+	if linked.ParentSpan() != a.RootSpan() || !linked.CrossNode() {
+		t.Fatal("linked trace lost its parent")
+	}
+}
+
+func TestSpanRecordingAndSnapshot(t *testing.T) {
+	tr := NewTrace()
+	tr.Annotate("key-1")
+	sp := tr.StartSpan(StageCache)
+	sp.SetKey("key-1")
+	child := sp.StartChild()
+	child.SetRemote("http://peer:1")
+	time.Sleep(time.Millisecond)
+	child.End()
+	sp.End()
+	live := tr.StartSpan(StageEncode) // never ended: must not appear
+	_ = live
+
+	if !tr.CrossNode() {
+		t.Fatal("SetRemote did not mark the trace cross-node")
+	}
+	ts := NewTraceStore("n1", 8, 0, 1)
+	if reason := ts.Offer(tr, "instantiate", "", 200, 5*time.Millisecond); reason == "" {
+		t.Fatal("sample=1 store discarded the trace")
+	}
+	recs := ts.Get(tr.ID())
+	if len(recs) != 1 {
+		t.Fatalf("Get returned %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Key != "key-1" || rec.Route != "instantiate" || rec.Node != "n1" {
+		t.Fatalf("record meta: %+v", rec)
+	}
+	// Root + cache + child; the un-ended encode span is skipped.
+	if len(rec.Spans) != 3 {
+		t.Fatalf("snapshot has %d spans, want 3: %+v", len(rec.Spans), rec.Spans)
+	}
+	root := rec.Spans[0]
+	if root.Stage != "request" || root.ID != tr.RootSpan() {
+		t.Fatalf("root span: %+v", root)
+	}
+	var cache, remote *SpanRecord
+	for i := range rec.Spans {
+		switch rec.Spans[i].Stage {
+		case "cache":
+			if rec.Spans[i].Remote == "" {
+				cache = &rec.Spans[i]
+			} else {
+				remote = &rec.Spans[i]
+			}
+		}
+	}
+	if cache == nil || remote == nil {
+		t.Fatalf("missing cache/attempt spans: %+v", rec.Spans)
+	}
+	if cache.Parent != root.ID {
+		t.Fatalf("cache span parent = %v, want root %v", cache.Parent, root.ID)
+	}
+	if remote.Parent != cache.ID {
+		t.Fatalf("child span parent = %v, want %v", remote.Parent, cache.ID)
+	}
+	if remote.StartUnixNs < cache.StartUnixNs {
+		t.Fatalf("child starts before parent: %d < %d", remote.StartUnixNs, cache.StartUnixNs)
+	}
+	if remote.DurationNs < int64(time.Millisecond) {
+		t.Fatalf("child duration %dns, want >= 1ms", remote.DurationNs)
+	}
+	if remote.DurationNs > cache.DurationNs {
+		t.Fatalf("child (%dns) outlasts parent (%dns)", remote.DurationNs, cache.DurationNs)
+	}
+}
+
+func TestNilTraceSpans(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan(StageInstantiate)
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d < time.Millisecond {
+		t.Fatalf("nil-trace span measured %v, want >= 1ms", d)
+	}
+	sp.SetKey("k")
+	sp.SetRemote("p")
+	if _, ok := sp.Header(); ok {
+		t.Fatal("nil-trace span produced a propagation header")
+	}
+	if tr.CrossNode() || tr.RootKey() != "" {
+		t.Fatal("nil trace mutated")
+	}
+}
+
+func TestSpanOverflowDegradesToAggregates(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < maxSpans+5; i++ {
+		tr.StartSpan(StageInstantiate).End()
+	}
+	if got := tr.DroppedSpans(); got != 5 {
+		t.Fatalf("dropped = %d, want 5", got)
+	}
+	if got := tr.Ops(StageInstantiate); got != maxSpans+5 {
+		t.Fatalf("aggregate ops = %d, want %d", got, maxSpans+5)
+	}
+	// Overflow refs still propagate: they carry the root span.
+	sp := tr.StartSpan(StageForward)
+	if sp.SpanID() != tr.RootSpan() {
+		t.Fatalf("overflow ref span = %v, want root %v", sp.SpanID(), tr.RootSpan())
+	}
+	if hv, ok := sp.Header(); !ok || hv == "" {
+		t.Fatal("overflow ref lost the propagation header")
+	}
+}
+
+// TestConcurrentSpansRaceClean exercises concurrent span recording
+// against snapshotting — the fan-out pattern — under the race detector.
+func TestConcurrentSpansRaceClean(t *testing.T) {
+	tr := NewTrace()
+	ts := NewTraceStore("n", 4, 0, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.StartSpan(StageFetch)
+				sp.SetRemote("http://peer")
+				sp.End()
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		ts.Offer(tr, "structures", "", 200, time.Millisecond)
+	}
+	wg.Wait()
+}
+
+func TestTailSamplingRules(t *testing.T) {
+	mk := func() *Trace { return NewTrace() }
+	ts := NewTraceStore("n", 16, 10*time.Millisecond, 0)
+	if r := ts.Offer(mk(), "r", "", 200, time.Millisecond); r != "" {
+		t.Fatalf("fast 200 retained as %q, want discard", r)
+	}
+	if r := ts.Offer(mk(), "r", "", 500, time.Millisecond); r != "error" {
+		t.Fatalf("5xx retained as %q, want error", r)
+	}
+	if r := ts.Offer(mk(), "r", "", 200, 50*time.Millisecond); r != "slow" {
+		t.Fatalf("slow retained as %q, want slow", r)
+	}
+	cross := NewLinkedTrace(TraceID{Hi: 1, Lo: 1}, 7)
+	if r := ts.Offer(cross, "r", "up", 200, time.Millisecond); r != "cross_node" {
+		t.Fatalf("propagated trace retained as %q, want cross_node", r)
+	}
+
+	// Deterministic sampling: the decision is a pure function of the ID,
+	// so two stores (two nodes) agree on every trace.
+	a := NewTraceStore("a", 16, 0, 0.5)
+	b := NewTraceStore("b", 16, 0, 0.5)
+	for i := 0; i < 64; i++ {
+		tr := NewTrace()
+		ra := a.Offer(tr, "r", "", 200, time.Millisecond)
+		rb := b.Offer(tr, "r", "", 200, time.Millisecond)
+		if (ra == "") != (rb == "") {
+			t.Fatalf("nodes disagree on trace %v: %q vs %q", tr.ID(), ra, rb)
+		}
+	}
+}
+
+func TestTraceStoreRingEviction(t *testing.T) {
+	ts := NewTraceStore("n", 4, 0, 1)
+	var ids []TraceID
+	for i := 0; i < 6; i++ {
+		tr := NewTrace()
+		ids = append(ids, tr.ID())
+		ts.Offer(tr, "r", "", 200, time.Duration(i+1)*time.Millisecond)
+	}
+	if got := ts.Get(ids[0]); got != nil {
+		t.Fatal("oldest trace survived a full ring")
+	}
+	if got := ts.Get(ids[5]); len(got) != 1 {
+		t.Fatal("newest trace missing")
+	}
+	recent := ts.Recent(TraceFilter{})
+	if len(recent) != 4 {
+		t.Fatalf("Recent returned %d, want 4", len(recent))
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i-1].DurationNs < recent[i].DurationNs {
+			t.Fatalf("Recent not newest-first: %v", recent)
+		}
+	}
+	filtered := ts.Recent(TraceFilter{MinDuration: 6 * time.Millisecond})
+	if len(filtered) != 1 {
+		t.Fatalf("MinDuration filter returned %d, want 1", len(filtered))
+	}
+	offered, retained, buffered := ts.Stats()
+	if offered != 6 || retained != 6 || buffered != 4 {
+		t.Fatalf("Stats = (%d, %d, %d), want (6, 6, 4)", offered, retained, buffered)
+	}
+}
+
+// FuzzTraceHeaderDecode: no input may panic the decoder, and anything it
+// accepts must round-trip exactly and never yield a zero trace ID (the
+// "bogus parent" guard — an unparseable header must start a fresh trace).
+func FuzzTraceHeaderDecode(f *testing.F) {
+	f.Add("v1;id=0123456789abcdeffedcba9876543210;span=deadbeefcafef00d")
+	f.Add("v1;id=00000000000000000000000000000000;span=0000000000000000")
+	f.Add("v1;id=;span=")
+	f.Add("")
+	f.Add(strings.Repeat(";", 100))
+	f.Fuzz(func(t *testing.T, v string) {
+		id, span, ok := ParseTraceHeader(v)
+		if !ok {
+			if !id.IsZero() || span != 0 {
+				t.Fatalf("rejected input leaked ids: %v %v", id, span)
+			}
+			return
+		}
+		if id.IsZero() {
+			t.Fatalf("accepted zero trace id from %q", v)
+		}
+		if re := EncodeTraceHeader(id, span); re != v {
+			t.Fatalf("round trip: %q -> %q", v, re)
+		}
+		// A linked trace built from any accepted header is well-formed.
+		tr := NewLinkedTrace(id, span)
+		if tr.ID() != id || tr.ParentSpan() != span {
+			t.Fatalf("NewLinkedTrace(%v, %v) = (%v, %v)", id, span, tr.ID(), tr.ParentSpan())
+		}
+	})
+}

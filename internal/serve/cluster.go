@@ -33,7 +33,6 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
-	"time"
 
 	"mps"
 	"mps/internal/cluster"
@@ -93,11 +92,16 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, key string
 	hdr.Set(cluster.ForwardHeader, mark)
 	// Everything past this point is forward work — the peer round trip
 	// and, on success, relaying its response — so one deferred span
-	// covers every outcome.
+	// covers every outcome. Do's per-attempt child spans (which carry the
+	// X-Mps-Trace header to the peer) nest under it via the context.
 	tr := obs.TraceFrom(r.Context())
-	fwdStart := time.Now()
-	defer func() { s.metrics.observe(tr, obs.StageForward, time.Since(fwdStart)) }()
-	resp, err := c.Do(r.Context(), target, r.Method, r.URL.RequestURI(), body, hdr, c.ForwardTimeout())
+	tr.Annotate(key)
+	fwdSpan := tr.StartSpan(obs.StageForward)
+	fwdSpan.SetRemote(target)
+	fwdSpan.SetKey(key)
+	defer func() { s.metrics.endSpan(fwdSpan) }()
+	ctx := obs.ContextWithSpan(r.Context(), fwdSpan)
+	resp, err := c.Do(ctx, target, r.Method, r.URL.RequestURI(), body, hdr, c.ForwardTimeout())
 	if err != nil {
 		c.CountFallback()
 		s.logf("cluster: forwarding %s %s (key %s) to %s: %v — serving locally",
@@ -148,9 +152,13 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, key string
 // the ensure call — Trace is atomic, so a post-response record is safe,
 // and the global stage counters see the spans either way.
 func (s *Server) remoteWork(tr *obs.Trace, e *entry, specJSON []byte) {
-	fetchStart := time.Now()
-	st0, stats0, ok := s.fetchFromPeers(e.spec)
-	s.metrics.observe(tr, obs.StageFetch, time.Since(fetchStart))
+	// Spans parent to the trace root: this goroutine is asynchronous to
+	// the request's span stack, so nesting under a span that may already
+	// have ended would misrepresent the timeline.
+	fetchSpan := tr.StartSpan(obs.StageFetch)
+	fetchSpan.SetKey(e.key)
+	st0, stats0, ok := s.fetchFromPeers(fetchSpan, e.spec)
+	s.metrics.endSpan(fetchSpan)
 	if ok {
 		st, stats := st0, stats0
 		if snap, err := s.sched.RecordDone(e.key, specJSON, jobsProgress(st, stats)); err == nil {
@@ -159,9 +167,11 @@ func (s *Server) remoteWork(tr *obs.Trace, e *entry, specJSON []byte) {
 		s.publish(e, st, stats, nil)
 		return
 	}
-	genStart := time.Now()
-	st1, stats1, handled, err1 := s.generateOnOwner(e.spec)
-	s.metrics.observe(tr, obs.StageForward, time.Since(genStart))
+	genSpan := tr.StartSpan(obs.StageForward)
+	genSpan.SetKey(e.key)
+	genSpan.SetRemote(s.cluster.Owner(e.key))
+	st1, stats1, handled, err1 := s.generateOnOwner(genSpan, e.spec)
+	s.metrics.endSpan(genSpan)
 	if handled {
 		st, stats, err := st1, stats1, err1
 		if err != nil {
@@ -179,21 +189,21 @@ func (s *Server) remoteWork(tr *obs.Trace, e *entry, specJSON []byte) {
 	s.cluster.CountFallback()
 	s.logf("cluster: owner %s unreachable for %s — degrading to local generation",
 		s.cluster.Owner(e.key), e.key)
-	s.submitGeneration(e, specJSON)
+	s.submitGeneration(tr, e, specJSON)
 }
 
 // fetchFromPeers tries to pull the built structure (v3 bytes) for spec
 // from the key's replica set, owner first. Milliseconds against a healthy
 // peer; a dead one costs at most one FetchTimeout before its breaker
 // starts refusing instantly.
-func (s *Server) fetchFromPeers(spec GenerateSpec) (*mps.Structure, mps.Stats, bool) {
+func (s *Server) fetchFromPeers(sp obs.SpanRef, spec GenerateSpec) (*mps.Structure, mps.Stats, bool) {
 	c := s.cluster
 	key := spec.key()
 	for _, peer := range c.Ring().Replicas(key, len(c.Peers())) {
 		if peer == c.Self() {
 			continue
 		}
-		st, stats, err := s.fetchFrom(peer, spec)
+		st, stats, err := s.fetchFrom(sp, peer, spec)
 		if err != nil {
 			s.logf("cluster: fetching %s from %s: %v", key, peer, err)
 			continue
@@ -211,8 +221,9 @@ func (s *Server) fetchFromPeers(spec GenerateSpec) (*mps.Structure, mps.Stats, b
 var errPeerMiss = fmt.Errorf("peer does not have the structure")
 
 // fetchFrom pulls spec's structure from one peer. (nil, _, nil) is
-// returned for a clean miss (the peer answered 404).
-func (s *Server) fetchFrom(peer string, spec GenerateSpec) (*mps.Structure, mps.Stats, error) {
+// returned for a clean miss (the peer answered 404). sp, when backed by
+// a trace, parents the per-attempt spans Do records for this pull.
+func (s *Server) fetchFrom(sp obs.SpanRef, peer string, spec GenerateSpec) (*mps.Structure, mps.Stats, error) {
 	c := s.cluster
 	mark, err := cluster.EncodeForward(cluster.Forward{From: c.Self(), Hop: 1})
 	if err != nil {
@@ -220,7 +231,7 @@ func (s *Server) fetchFrom(peer string, spec GenerateSpec) (*mps.Structure, mps.
 	}
 	hdr := http.Header{}
 	hdr.Set(cluster.ForwardHeader, mark)
-	resp, err := c.Do(context.Background(), peer, http.MethodGet,
+	resp, err := c.Do(obs.ContextWithSpan(context.Background(), sp), peer, http.MethodGet,
 		"/v1/cluster/structure?key="+url.QueryEscape(spec.key()), nil, hdr, c.FetchTimeout())
 	if err != nil {
 		return nil, mps.Stats{}, err
@@ -270,7 +281,7 @@ func (s *Server) fetchFrom(peer string, spec GenerateSpec) (*mps.Structure, mps.
 // handled=false means the owner was unreachable and the caller should
 // degrade to local generation; handled=true with err carries an owner
 // verdict (e.g. a 4xx) that local generation could not improve on.
-func (s *Server) generateOnOwner(spec GenerateSpec) (*mps.Structure, mps.Stats, bool, error) {
+func (s *Server) generateOnOwner(sp obs.SpanRef, spec GenerateSpec) (*mps.Structure, mps.Stats, bool, error) {
 	c := s.cluster
 	owner := c.Owner(spec.key())
 	mark, err := cluster.EncodeForward(cluster.Forward{From: c.Self(), Hop: 1})
@@ -280,7 +291,7 @@ func (s *Server) generateOnOwner(spec GenerateSpec) (*mps.Structure, mps.Stats, 
 	hdr := http.Header{}
 	hdr.Set("Content-Type", "application/json")
 	hdr.Set(cluster.ForwardHeader, mark)
-	resp, err := c.Do(context.Background(), owner, http.MethodPost, "/v1/structures",
+	resp, err := c.Do(obs.ContextWithSpan(context.Background(), sp), owner, http.MethodPost, "/v1/structures",
 		mustSpecJSON(spec), hdr, c.ForwardTimeout())
 	if err != nil {
 		return nil, mps.Stats{}, false, nil
@@ -289,7 +300,7 @@ func (s *Server) generateOnOwner(spec GenerateSpec) (*mps.Structure, mps.Stats, 
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		st, stats, err := s.fetchFrom(owner, spec)
+		st, stats, err := s.fetchFrom(sp, owner, spec)
 		if err != nil || st == nil {
 			// Generated there but the artifact will not come over; local
 			// generation still serves the client.
@@ -331,7 +342,7 @@ func (s *Server) entryForKey(ctx context.Context, key string) (*entry, error) {
 		return e, err
 	}
 	if s.cluster != nil && !forwardedFromCtx(ctx) {
-		if spec, ok := s.specFromPeer(key); ok {
+		if spec, ok := s.specFromPeer(ctx, key); ok {
 			e, _, err := s.structureFor(ctx, spec)
 			if err == nil && e.key != key {
 				return nil, fmt.Errorf("peer spec for %s rebuilds to key %s (key drift)", key, e.key)
@@ -371,7 +382,7 @@ func (s *Server) specFromStore(key string) (GenerateSpec, bool) {
 // specFromPeer asks the key's owner which spec the key denotes (metadata
 // only — the artifact follows through the entry pipeline, where every
 // replica gets a chance to serve it).
-func (s *Server) specFromPeer(key string) (GenerateSpec, bool) {
+func (s *Server) specFromPeer(ctx context.Context, key string) (GenerateSpec, bool) {
 	c := s.cluster
 	owner := c.Owner(key)
 	if owner == c.Self() {
@@ -383,7 +394,12 @@ func (s *Server) specFromPeer(key string) (GenerateSpec, bool) {
 	}
 	hdr := http.Header{}
 	hdr.Set(cluster.ForwardHeader, mark)
-	resp, err := c.Do(context.Background(), owner, http.MethodGet,
+	tr := obs.TraceFrom(ctx)
+	sp := tr.StartSpan(obs.StageFetch)
+	sp.SetRemote(owner)
+	sp.SetKey(key)
+	defer func() { s.metrics.endSpan(sp) }()
+	resp, err := c.Do(obs.ContextWithSpan(context.Background(), sp), owner, http.MethodGet,
 		"/v1/cluster/structure?key="+url.QueryEscape(key)+"&meta=1", nil, hdr, c.FetchTimeout())
 	if err != nil {
 		return GenerateSpec{}, false

@@ -18,7 +18,9 @@ package serve
 
 import (
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"mps/internal/cluster"
@@ -31,7 +33,7 @@ import (
 var routeLabels = []string{
 	"healthz", "metrics", "circuits", "structures", "instantiate",
 	"jobs", "job", "cluster_structure", "cluster_accept",
-	"cluster_rebalance", "other",
+	"cluster_rebalance", "debug_traces", "debug_trace", "other",
 }
 
 // routeLabel maps a request path to its route label.
@@ -55,9 +57,14 @@ func routeLabel(path string) string {
 		return "cluster_accept"
 	case "/v1/cluster/rebalance":
 		return "cluster_rebalance"
+	case "/v1/debug/traces":
+		return "debug_traces"
 	}
 	if len(path) > len("/v1/jobs/") && path[:len("/v1/jobs/")] == "/v1/jobs/" {
 		return "job"
+	}
+	if len(path) > len("/v1/debug/traces/") && path[:len("/v1/debug/traces/")] == "/v1/debug/traces/" {
+		return "debug_trace"
 	}
 	return "other"
 }
@@ -211,7 +218,81 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Fraction of the key space this ring assigns to each node.",
 			"peer", func() map[string]float64 { return shares })
 	}
+
+	if ts := s.traces; ts != nil {
+		reg.CounterFunc("mps_traces_offered_total",
+			"Completed requests offered to the trace store.", func() float64 {
+				offered, _, _ := ts.Stats()
+				return float64(offered)
+			})
+		reg.CounterFunc("mps_traces_retained_total",
+			"Traces kept by tail sampling (error, slow, cross-node, or sampled).", func() float64 {
+				_, retained, _ := ts.Stats()
+				return float64(retained)
+			})
+		reg.GaugeFunc("mps_traces_buffered",
+			"Trace segments currently in the ring buffer.", func() float64 {
+				_, _, buffered := ts.Stats()
+				return float64(buffered)
+			})
+	}
+
+	// Go runtime health — "is this node GC-bound?" answerable from
+	// /metrics alone. The memstats-backed gauges share one cached
+	// ReadMemStats sample (refreshed at most once a second) because each
+	// read is a stop-the-world, and a scrape asks for several.
+	var msc memStatsCache
+	reg.GaugeFunc("go_goroutines",
+		"Live goroutines.", func() float64 {
+			return float64(runtime.NumGoroutine())
+		})
+	reg.GaugeFunc("go_gomaxprocs",
+		"GOMAXPROCS — the scheduler's OS-thread parallelism bound.", func() float64 {
+			return float64(runtime.GOMAXPROCS(0))
+		})
+	reg.GaugeFunc("go_memstats_heap_inuse_bytes",
+		"Heap bytes in in-use spans.", func() float64 {
+			return float64(msc.read().HeapInuse)
+		})
+	reg.GaugeFunc("go_memstats_heap_idle_bytes",
+		"Heap bytes in idle spans (returnable to the OS).", func() float64 {
+			return float64(msc.read().HeapIdle)
+		})
+	reg.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.", func() float64 {
+			return float64(msc.read().PauseTotalNs) / 1e9
+		})
+	reg.GaugeFunc("go_gc_last_gc_age_seconds",
+		"Seconds since the last completed GC cycle (0 before the first).", func() float64 {
+			last := msc.read().LastGC
+			if last == 0 {
+				return 0
+			}
+			age := time.Since(time.Unix(0, int64(last))).Seconds()
+			if age < 0 {
+				return 0
+			}
+			return age
+		})
 	return m
+}
+
+// memStatsCache amortizes runtime.ReadMemStats across the gauges that
+// read it: one stop-the-world sample per refresh window, not per gauge.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	snap runtime.MemStats
+}
+
+func (c *memStatsCache) read() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); c.at.IsZero() || now.Sub(c.at) > time.Second {
+		runtime.ReadMemStats(&c.snap)
+		c.at = now
+	}
+	return c.snap
 }
 
 // observe records one span globally and on the request's trace (tr may be
@@ -222,6 +303,18 @@ func (m *serverMetrics) observe(tr *obs.Trace, st obs.Stage, d time.Duration) {
 		m.stageDur[st].AddDuration(d)
 	}
 	m.stageOps[st].Inc()
+}
+
+// endSpan commits sp and feeds the global per-stage counters — the span
+// counterpart of observe (SpanRef.End already fed the trace's own
+// aggregates). Allocation-free; safe on zero refs.
+func (m *serverMetrics) endSpan(sp obs.SpanRef) time.Duration {
+	d := sp.End()
+	if d > 0 {
+		m.stageDur[sp.Stage()].AddDuration(d)
+	}
+	m.stageOps[sp.Stage()].Inc()
+	return d
 }
 
 // statusRecorder captures the response status for the request metrics and
@@ -236,43 +329,87 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush keeps streaming handlers streaming through the wrapper.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer for
+// capabilities (hijack, deadlines) the wrapper does not intercept.
+func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument wraps the routing table with the observability epilogue:
-// attach a Trace to the context, then on completion record the per-route
-// latency histogram and request counter, count forwarded client traffic,
-// and emit the slow-query line when the request ran over threshold.
+// attach a Trace to the context — linked to the upstream span when the
+// request carries an X-Mps-Trace header — then on completion record the
+// per-route latency histogram and request counter, count forwarded client
+// traffic, offer the trace to the tail-sampling store, and emit the
+// slow-query line (with the trace ID as exemplar) when the request ran
+// over threshold.
+//
+// The epilogue runs even when the handler panics — the deferred close
+// treats the in-flight response as a 500 so the trace is finished and
+// retained under the error rule, never leaked as a live span — and then
+// lets the panic propagate to net/http's connection teardown.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	m := s.metrics
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		route := routeLabel(r.URL.Path)
-		ctx, tr := obs.WithTrace(r.Context())
+		upID, upSpan, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		ctx, tr := obs.WithTraceLink(r.Context(), upID, upSpan)
+		w.Header().Set(obs.TraceIDHeader, tr.ID().String())
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		next.ServeHTTP(rec, r.WithContext(ctx))
-		elapsed := time.Since(start)
 
-		m.routeHist[route].Observe(elapsed)
-		m.reqCount.With(route, strconv.Itoa(rec.status)).Inc()
-		// Forwarded *client* requests only: the /v1/cluster/* endpoints
-		// always carry the forward mark (it is the peer-protocol loop
-		// guard), so counting them would make every fetch look like a
-		// forwarded client call.
-		if forwarded(r) && route != "cluster_structure" &&
-			route != "cluster_accept" && route != "cluster_rebalance" {
-			m.forwardedServed.Inc()
-		}
-		if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
-			m.slowQueries.Inc()
-			line := obs.SlowQueryEntry{
-				Method:   r.Method,
-				Path:     r.URL.Path,
-				Route:    route,
-				Status:   rec.status,
-				Millis:   float64(elapsed) / float64(time.Millisecond),
-				ServedBy: w.Header().Get(cluster.ServedByHeader),
-				Stages:   tr.StageBreakdown(),
+		panicked := true
+		finish := func() {
+			elapsed := time.Since(start)
+			status := rec.status
+			if panicked && status < 500 {
+				// The handler died mid-flight; whatever status the partial
+				// write carried, the request failed.
+				status = http.StatusInternalServerError
 			}
-			s.logf("slow-query %s", line.Render())
+			m.routeHist[route].Observe(elapsed)
+			m.reqCount.With(route, strconv.Itoa(status)).Inc()
+			// Forwarded *client* requests only: the /v1/cluster/* endpoints
+			// always carry the forward mark (it is the peer-protocol loop
+			// guard), so counting them would make every fetch look like a
+			// forwarded client call.
+			if forwarded(r) && route != "cluster_structure" &&
+				route != "cluster_accept" && route != "cluster_rebalance" {
+				m.forwardedServed.Inc()
+			}
+			var from string
+			if fwd, _, err := cluster.ParseForward(r.Header.Get(cluster.ForwardHeader)); err == nil {
+				from = fwd.From
+			}
+			s.traces.Offer(tr, route, from, status, elapsed)
+			if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+				m.slowQueries.Inc()
+				line := obs.SlowQueryEntry{
+					Method:   r.Method,
+					Path:     r.URL.Path,
+					Route:    route,
+					Status:   status,
+					Millis:   float64(elapsed) / float64(time.Millisecond),
+					ServedBy: w.Header().Get(cluster.ServedByHeader),
+					TraceID:  tr.ID().String(),
+					Key:      tr.RootKey(),
+					Stages:   tr.StageBreakdown(),
+				}
+				s.logf("slow-query %s", line.Render())
+			}
 		}
+		defer func() {
+			if panicked {
+				finish()
+			}
+		}()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		panicked = false
+		finish()
 	})
 }
 

@@ -113,6 +113,18 @@ type Config struct {
 	// per-stage time breakdown naming where the time went. Zero disables
 	// the log; the mps_slow_queries_total counter tracks either way.
 	SlowQuery time.Duration
+	// TraceBuffer bounds the per-node ring of retained traces served by
+	// /v1/debug/traces. 0 means 512; negative disables tracing retention
+	// entirely (spans still feed the stage aggregates).
+	TraceBuffer int
+	// TraceSlow is the always-retain latency threshold for tail sampling.
+	// 0 inherits SlowQuery; negative disables the slow rule.
+	TraceSlow time.Duration
+	// TraceSample is the fraction of ordinary (fast, successful,
+	// single-node) traces retained, decided deterministically from the
+	// trace ID so every node keeps the same traces. 0 means 0.1; negative
+	// means none.
+	TraceSample float64
 }
 
 func (cfg Config) withDefaults() Config {
@@ -130,6 +142,15 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.MaxConcurrentGenerations <= 0 {
 		cfg.MaxConcurrentGenerations = 2
+	}
+	if cfg.TraceBuffer == 0 {
+		cfg.TraceBuffer = 512
+	}
+	if cfg.TraceSlow == 0 {
+		cfg.TraceSlow = cfg.SlowQuery
+	}
+	if cfg.TraceSample == 0 {
+		cfg.TraceSample = 0.1
 	}
 	return cfg
 }
@@ -156,6 +177,10 @@ type Server struct {
 	// alias its counters so the incrementing code (and tests calling
 	// Load) reads the same as when they were plain atomics.
 	metrics *serverMetrics
+
+	// traces is the tail-sampled ring of completed request traces behind
+	// /v1/debug/traces; nil when retention is disabled (TraceBuffer < 0).
+	traces *obs.TraceStore
 
 	// genRuns counts full annealing runs started — not cache or store
 	// hits — so tests and operators can verify warm-started structures
@@ -253,6 +278,21 @@ func New(cfg Config) *Server {
 		batchSlots: make(chan struct{}, cfg.MaxConcurrentBatches),
 		cache:      make(map[string]*entry),
 		order:      list.New(),
+	}
+	if cfg.TraceBuffer > 0 {
+		node := "local"
+		if cfg.Cluster != nil {
+			node = cfg.Cluster.Self()
+		}
+		slow := cfg.TraceSlow
+		if slow < 0 {
+			slow = 0
+		}
+		sample := cfg.TraceSample
+		if sample < 0 {
+			sample = 0
+		}
+		s.traces = obs.NewTraceStore(node, cfg.TraceBuffer, slow, sample)
 	}
 	s.metrics = newServerMetrics(s)
 	s.genRuns = s.metrics.genRuns
@@ -462,10 +502,11 @@ func (s *Server) evictLocked() {
 // cache hit: the entry had already finished, not merely landing on an
 // in-flight one.
 //
-// tr is the requesting trace (nil for background callers): the first
+// tr is the requesting trace (nil for background callers) and parent the
+// span the inline work should nest under (0 = the trace root): the first
 // caller runs the inline read-through, so its trace gets the store-read
 // and compile spans; later callers land on the same entry and wait.
-func (s *Server) ensure(tr *obs.Trace, spec GenerateSpec, priority int) (*entry, bool) {
+func (s *Server) ensure(tr *obs.Trace, parent obs.SpanID, spec GenerateSpec, priority int) (*entry, bool) {
 	key := spec.key()
 	s.mu.Lock()
 	e, hit := s.cache[key]
@@ -480,7 +521,7 @@ func (s *Server) ensure(tr *obs.Trace, spec GenerateSpec, priority int) (*entry,
 	}
 	e.waiters.Add(1)
 	s.mu.Unlock()
-	e.start.Do(func() { s.startWork(tr, e) })
+	e.start.Do(func() { s.startWork(tr, parent, e) })
 	return e, wasDone
 }
 
@@ -490,9 +531,9 @@ func (s *Server) ensure(tr *obs.Trace, spec GenerateSpec, priority int) (*entry,
 // specs branch into the member fan-out instead. Exactly one of the
 // resulting paths — store hit, submit failure, the job's run, or the
 // job's abandon hook — calls publish, which closes e.ready.
-func (s *Server) startWork(tr *obs.Trace, e *entry) {
+func (s *Server) startWork(tr *obs.Trace, parent obs.SpanID, e *entry) {
 	if e.spec.Portfolio > 1 {
-		s.startPortfolioWork(tr, e)
+		s.startPortfolioWork(tr, parent, e)
 		return
 	}
 	specJSON, err := json.Marshal(e.spec)
@@ -506,7 +547,7 @@ func (s *Server) startWork(tr *obs.Trace, e *entry) {
 	// missing entry) fall through to a fresh generation. The job history
 	// still records the materialization (RecordDone), so /v1/jobs answers
 	// for warm keys too.
-	if st, stats, err := s.loadFromStore(tr, e.spec); err == nil && st != nil {
+	if st, stats, err := s.loadFromStore(tr, parent, e.spec); err == nil && st != nil {
 		if snap, err := s.sched.RecordDone(e.key, specJSON, jobs.Progress{
 			Placements: st.NumPlacements(),
 			Coverage:   stats.FinalCoverage,
@@ -527,13 +568,15 @@ func (s *Server) startWork(tr *obs.Trace, e *entry) {
 		go s.remoteWork(tr, e, specJSON)
 		return
 	}
-	s.submitGeneration(e, specJSON)
+	s.submitGeneration(tr, e, specJSON)
 }
 
 // submitGeneration queues the entry's annealing run on the local job
 // scheduler — the tail of startWork, split out so the cluster path can
-// fall back to it after peer routes fail.
-func (s *Server) submitGeneration(e *entry, specJSON []byte) {
+// fall back to it after peer routes fail. tr (nil for background work)
+// receives the job_run span; it parents to the trace root because the
+// job routinely outlives the request span that submitted it.
+func (s *Server) submitGeneration(tr *obs.Trace, e *entry, specJSON []byte) {
 	// Run and Done execute sequentially on the same worker, so the result
 	// variables they share need no further synchronization. Publication
 	// happens in Done — after the scheduler has retired the key from its
@@ -546,6 +589,7 @@ func (s *Server) submitGeneration(e *entry, specJSON []byte) {
 		Key:      e.key,
 		Spec:     specJSON,
 		Priority: e.priority,
+		Trace:    tr,
 		Run: func(ctx context.Context, report func(jobs.Progress)) error {
 			genSt, genStats, genErr = s.runGeneration(ctx, e.spec, report)
 			// Write-through: persist the finished structure off the job
@@ -565,7 +609,12 @@ func (s *Server) submitGeneration(e *entry, specJSON []byte) {
 			}
 			return genErr
 		},
-		Done: func(jobs.Snapshot) {
+		Done: func(snap jobs.Snapshot) {
+			// The scheduler records the job_run span on the submitting trace;
+			// the server-wide stage counters live here, where the metrics are.
+			if snap.Finished.After(snap.Started) {
+				s.metrics.observe(nil, obs.StageJobRun, snap.Finished.Sub(snap.Started))
+			}
 			s.publish(e, genSt, genStats, genErr)
 		},
 		Abandon: func(reason error) {
@@ -634,12 +683,12 @@ func (s *Server) runGeneration(ctx context.Context, spec GenerateSpec, report fu
 // the grouping row exists for Warm and listings. This is the one place
 // the scheduler runs cooperative multi-job work for a single logical
 // artifact: the K jobs proceed in parallel up to the worker-pool bound.
-func (s *Server) startPortfolioWork(tr *obs.Trace, e *entry) {
+func (s *Server) startPortfolioWork(tr *obs.Trace, parent obs.SpanID, e *entry) {
 	k := e.spec.Portfolio
 	members := make([]*entry, k)
 	memberIDs := make([]string, 0, k)
 	for i := 0; i < k; i++ {
-		me, _ := s.ensure(tr, e.spec.memberSpec(i), e.priority)
+		me, _ := s.ensure(tr, parent, e.spec.memberSpec(i), e.priority)
 		members[i] = me
 		s.mu.Lock()
 		if me.jobID != "" {
@@ -766,7 +815,7 @@ func (s *Server) loadPortfolioFromStore(spec GenerateSpec) (*mps.Portfolio, mps.
 			members[i] = me.s
 			continue
 		}
-		st, _, err := s.loadFromStore(nil, mspec)
+		st, _, err := s.loadFromStore(nil, 0, mspec)
 		if err != nil || st == nil {
 			return nil, mps.Stats{}, err
 		}
@@ -817,17 +866,20 @@ func (s *Server) persistPortfolio(spec GenerateSpec, p *mps.Portfolio, members [
 // in-flight entry and waiting for it.
 func (s *Server) structureFor(ctx context.Context, spec GenerateSpec) (*entry, bool, error) {
 	tr := obs.TraceFrom(ctx)
-	cacheStart := time.Now()
-	e, wasDone := s.ensure(tr, spec, 0)
+	tr.Annotate(spec.key())
+	cacheSpan := tr.StartSpan(obs.StageCache)
+	cacheSpan.SetKey(spec.key())
+	e, wasDone := s.ensure(tr, cacheSpan.SpanID(), spec, 0)
 	// The cache span covers lookup plus any inline read-through ensure ran
-	// on this goroutine (store_read/compile overlap it by design).
-	s.metrics.observe(tr, obs.StageCache, time.Since(cacheStart))
+	// on this goroutine (store_read/compile nest under it by design).
+	s.metrics.endSpan(cacheSpan)
 	defer e.waiters.Add(-1)
 	select {
 	case <-e.ready:
 	default:
-		waitStart := time.Now()
-		defer func() { s.metrics.observe(tr, obs.StageJobWait, time.Since(waitStart)) }()
+		waitSpan := tr.StartSpan(obs.StageJobWait)
+		waitSpan.SetKey(e.key)
+		defer func() { s.metrics.endSpan(waitSpan) }()
 		select {
 		case <-e.ready:
 		case <-ctx.Done():
@@ -908,8 +960,9 @@ func (s *Server) publish(e *entry, st *mps.Structure, stats mps.Stats, err error
 // for the key; an error means an entry existed but could not be loaded
 // (corrupt file, circuit mismatch), which callers also treat as a miss
 // after counting it. The read and compile phases record as store_read
-// and compile spans on tr (nil for background callers).
-func (s *Server) loadFromStore(tr *obs.Trace, spec GenerateSpec) (*mps.Structure, mps.Stats, error) {
+// and compile spans on tr (nil for background callers), nested under
+// parent.
+func (s *Server) loadFromStore(tr *obs.Trace, parent obs.SpanID, spec GenerateSpec) (*mps.Structure, mps.Stats, error) {
 	if s.cfg.Store == nil {
 		return nil, mps.Stats{}, nil
 	}
@@ -921,9 +974,10 @@ func (s *Server) loadFromStore(tr *obs.Trace, spec GenerateSpec) (*mps.Structure
 	if err != nil {
 		return nil, mps.Stats{}, err
 	}
-	readStart := time.Now()
+	readSpan := tr.StartSpanUnder(parent, obs.StageStoreRead)
+	readSpan.SetKey(key)
 	cs, meta, err := s.cfg.Store.Get(key, circuit)
-	s.metrics.observe(tr, obs.StageStoreRead, time.Since(readStart))
+	s.metrics.endSpan(readSpan)
 	if err != nil {
 		s.loadErrs.Add(1)
 		s.logf("store: loading %s: %v (regenerating)", key, err)
@@ -936,9 +990,9 @@ func (s *Server) loadFromStore(tr *obs.Trace, spec GenerateSpec) (*mps.Structure
 	// (placements + compiled tables), so this is a cache hit — core.Load
 	// attached the index during decode; only a legacy v2 file compiles
 	// here, still off the request path.
-	compileStart := time.Now()
+	compileSpan := tr.StartSpanUnder(parent, obs.StageCompile)
 	st.Compiled()
-	s.metrics.observe(tr, obs.StageCompile, time.Since(compileStart))
+	s.metrics.endSpan(compileSpan)
 	// The manifest's coverage snapshot is all that survives a restart;
 	// the rest of the generation stats belong to the process that ran
 	// the annealer.
@@ -1004,7 +1058,7 @@ func (s *Server) Warm(limit int) (int, error) {
 			s.logf("warm: manifest key %s does not match its spec (key drift)", meta.Key)
 			continue
 		}
-		st, stats, err := s.loadFromStore(nil, spec)
+		st, stats, err := s.loadFromStore(nil, 0, spec)
 		if err != nil || st == nil {
 			continue // already logged and counted
 		}
@@ -1116,7 +1170,7 @@ func (s *Server) ResumeInterrupted() int {
 			s.logf("resume %s: %v", snap.ID, err)
 			continue
 		}
-		e, _ := s.ensure(nil, spec, snap.Priority)
+		e, _ := s.ensure(nil, 0, spec, snap.Priority)
 		e.waiters.Add(-1) // fire and forget: nobody waits on a resumed job
 		resumed++
 	}
@@ -1166,6 +1220,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/debug/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/debug/traces/{id}", s.handleTraceGet)
 	if s.cluster == nil {
 		return s.instrument(mux)
 	}
@@ -1426,7 +1482,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	e, _ := s.ensure(obs.TraceFrom(r.Context()), spec, req.Priority)
+	e, _ := s.ensure(obs.TraceFrom(r.Context()), 0, spec, req.Priority)
 	defer e.waiters.Add(-1)
 	s.mu.Lock()
 	id := e.jobID
@@ -1637,19 +1693,21 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 	// so the access log does not count shed load as success. Per-request
 	// decode memory is bounded by MaxBatch (see withDefaults).
 	tr := obs.TraceFrom(ctx)
-	slotStart := time.Now()
+	tr.Annotate(e.key)
+	slotSpan := tr.StartSpan(obs.StageBatchWait)
 	select {
 	case s.batchSlots <- struct{}{}:
-		s.metrics.observe(tr, obs.StageBatchWait, time.Since(slotStart))
+		s.metrics.endSpan(slotSpan)
 		defer func() { <-s.batchSlots }()
 	case <-r.Context().Done():
-		s.metrics.observe(tr, obs.StageBatchWait, time.Since(slotStart))
+		s.metrics.endSpan(slotSpan)
 		writeError(w, http.StatusServiceUnavailable, "canceled while queued for a batch slot")
 		return
 	}
-	instStart := time.Now()
+	instSpan := tr.StartSpan(obs.StageInstantiate)
+	instSpan.SetKey(e.key)
 	batch := e.batcher().InstantiateBatchWorkers(queries, s.cfg.Workers)
-	s.metrics.observe(tr, obs.StageInstantiate, time.Since(instStart))
+	s.metrics.endSpan(instSpan)
 
 	results := make([]queryResult, len(batch))
 	served := 0
@@ -1667,13 +1725,13 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 			FromBackup:  br.FromBackup,
 		}
 	}
-	encStart := time.Now()
+	encSpan := tr.StartSpan(obs.StageEncode)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"key":     e.key,
 		"served":  served,
 		"results": results,
 	})
-	s.metrics.observe(tr, obs.StageEncode, time.Since(encStart))
+	s.metrics.endSpan(encSpan)
 }
 
 // maxQueryBytes is a generous upper bound on the JSON size of one

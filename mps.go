@@ -199,8 +199,11 @@ func GenerateContext(ctx context.Context, c *Circuit, opts Options) (*Structure,
 		return nil, stats, err
 	}
 	// Re-merge fork fragments left by overlap resolution; queries are
-	// unaffected, the structure just gets smaller and faster.
+	// unaffected, the structure just gets smaller and faster. Renumbering
+	// then packs the ID holes deletion left, so the IDs clients see
+	// survive a save/load round trip (see core.Renumber).
 	s.Compact()
+	s.Renumber()
 	s.SetBackup(newBackup(c, opts.Backup))
 	return &Structure{s}, stats, nil
 }
