@@ -11,6 +11,10 @@
 //	mpsbench -queryperf             # tree vs compiled query-path comparison
 //	mpsbench -portfolio 3           # best-of-K portfolio study: coverage and
 //	                                # mean-area deltas vs a single structure
+//	mpsbench -backends              # generation-backend comparison (anneal vs
+//	                                # ga): coverage/cost/wall-clock per circuit;
+//	                                # with -json the rows land in
+//	                                # BENCH_results.json under "backends"
 //	mpsbench -micro [-json]         # serving-stack micro-benchmarks; -json also
 //	                                # writes machine-readable BENCH_results.json
 //	                                # (op names, ns/op, bytes/op) for CI archiving
@@ -48,6 +52,7 @@ func main() {
 	saveload := flag.Bool("saveload", false, "benchmark the on-disk codecs: gob v1 vs binary v2 per circuit (extension)")
 	queryperf := flag.Bool("queryperf", false, "compare the tree and compiled query paths per circuit (ns/op, allocs/op)")
 	portfolioK := flag.Int("portfolio", 0, "best-of-K portfolio study: coverage and mean-area deltas vs K=1 (0 = off; try 3)")
+	backends := flag.Bool("backends", false, "compare generation backends (anneal, ga, ...) per circuit: coverage, cost, wall clock")
 	micro := flag.Bool("micro", false, "run the serving-stack micro-benchmarks (generate, instantiate, codecs)")
 	jsonOut := flag.Bool("json", false, "write micro-benchmark results to BENCH_results.json (implies -micro; lands in -out when set)")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate the micro-benchmarks against (implies -micro); exit 1 on regression")
@@ -63,12 +68,12 @@ func main() {
 	}
 	if *all {
 		*table1, *table2, *fig5, *fig6, *fig7 = true, true, true, true, true
-		*scaling, *synthCmp, *saveload, *micro, *queryperf = true, true, true, true, true
+		*scaling, *synthCmp, *saveload, *micro, *queryperf, *backends = true, true, true, true, true, true
 		if *portfolioK == 0 {
 			*portfolioK = 3
 		}
 	}
-	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload || *micro || *queryperf || *portfolioK > 0) {
+	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload || *micro || *queryperf || *backends || *portfolioK > 0) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -186,6 +191,15 @@ func main() {
 		}
 		fmt.Println()
 	}
+	var backendRows []experiments.BackendRow
+	if *backends {
+		rows, err := experiments.RunBackends(os.Stdout, effort, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		backendRows = rows
+		fmt.Println()
+	}
 	if *micro {
 		results, err := experiments.RunMicro(os.Stdout, *seed)
 		if err != nil {
@@ -198,7 +212,7 @@ func main() {
 				dir = "."
 			}
 			path := filepath.Join(dir, "BENCH_results.json")
-			if err := experiments.WriteBenchJSON(path, *seed, results); err != nil {
+			if err := experiments.WriteBenchReport(path, *seed, results, backendRows); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote %s\n", path)

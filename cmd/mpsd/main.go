@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mpsd [-addr :8723] [-cache 8] [-workers 0] [-max-batch 8192]
-//	     [-max-iterations 5000] [-preload TwoStageOpamp]
+//	     [-max-iterations 5000] [-preload TwoStageOpamp] [-preload-backend ga]
 //	     [-store-dir /var/lib/mpsd] [-store-warm -1]
 //	     [-gen-workers 2] [-jobs-dir /var/lib/mpsd-jobs] [-jobs-resume]
 //	     [-cluster-self http://node1:8723]
@@ -42,6 +42,12 @@
 // structures to their owners. Every cluster response carries
 // X-Mps-Served-By naming the node that answered.
 //
+// A spec may name a generation backend ("backend": "ga"); omitted means
+// "anneal", the nested simulated annealing, so every spec written before
+// backends existed keeps its meaning and its cache/store artifacts.
+// Unknown backends are rejected with a 400 listing the registered names,
+// which GET /v1/backends also serves.
+//
 // A spec with "portfolio": K (2..8) asks for a structure portfolio: K
 // members generated from derived seeds as K parallel scheduler jobs, then
 // served as one entry that routes every query to the covering member with
@@ -55,6 +61,7 @@
 //	GET    /healthz          liveness probe + job queue counts
 //	GET    /metrics          Prometheus text metrics (see ARCHITECTURE.md)
 //	GET    /v1/circuits      list benchmark circuits
+//	GET    /v1/backends      list generation backends (anneal, ga, ...)
 //	GET    /v1/structures    list cached + persisted structures
 //	POST   /v1/structures    generate (submit-and-wait) a structure for a spec
 //	POST   /v1/instantiate   answer a batch of dimension queries
@@ -124,6 +131,8 @@ func main() {
 		"cap on per-request explorer iterations (negative disables)")
 	preload := flag.String("preload", "",
 		"comma-free circuit name to generate at startup with quick effort")
+	preloadBackend := flag.String("preload-backend", "",
+		"generation backend for -preload (empty = the default backend; see GET /v1/backends)")
 	storeDir := flag.String("store-dir", "",
 		"persistent structure store directory (empty = memory-only)")
 	storeWarm := flag.Int("store-warm", -1,
@@ -253,13 +262,14 @@ func main() {
 
 	if *preload != "" {
 		start := time.Now()
-		spec := serve.GenerateSpec{Circuit: *preload, Effort: "quick"}
+		spec := serve.GenerateSpec{Circuit: *preload, Effort: "quick", Backend: *preloadBackend}
 		info, err := srv.Generate(spec)
 		if err != nil {
 			log.Fatalf("preload %s: %v", *preload, err)
 		}
-		log.Printf("preloaded %s: %d placements, %.1f%% coverage in %s",
-			*preload, info.Placements, 100*info.Coverage, time.Since(start).Round(time.Millisecond))
+		log.Printf("preloaded %s (%s backend): %d placements, %.1f%% coverage in %s",
+			*preload, info.Spec.Backend, info.Placements, 100*info.Coverage,
+			time.Since(start).Round(time.Millisecond))
 	}
 
 	// ReadTimeout bounds slow-trickled request bodies (slowloris).

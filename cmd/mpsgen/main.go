@@ -5,7 +5,8 @@
 // Usage:
 //
 //	mpsgen -circuit TwoStageOpamp -out tso.mps [-seed 1] [-effort quick|balanced|thorough]
-//	       [-iterations N] [-bdio-steps N] [-chains N] [-format binary|gob] [-v]
+//	       [-backend anneal|ga] [-iterations N] [-bdio-steps N] [-chains N]
+//	       [-format binary|gob] [-v]
 //
 // Structures are written atomically in the v2 binary format (checksummed,
 // varint-packed) by default; -format gob emits the legacy v1 encoding for
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +32,8 @@ func main() {
 	out := flag.String("out", "", "output structure file")
 	seed := flag.Int64("seed", 1, "random seed")
 	effort := flag.String("effort", "balanced", "preset budget: quick, balanced, thorough")
+	backend := flag.String("backend", mps.DefaultBackend,
+		fmt.Sprintf("generation backend: %s", strings.Join(mps.Backends(), ", ")))
 	iterations := flag.Int("iterations", 0, "explorer iterations (overrides effort preset)")
 	bdioSteps := flag.Int("bdio-steps", 0, "inner-annealer steps (overrides effort preset)")
 	chains := flag.Int("chains", 1, "parallel explorer chains")
@@ -87,14 +91,20 @@ func main() {
 		}
 	}
 
-	s, stats, err := mps.Generate(circuit, opts)
+	res, err := mps.Run(context.Background(), mps.Request{
+		Circuit: circuit,
+		Options: opts,
+		Backend: strings.ToLower(*backend),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	s, stats := res.Structure, res.Stats[0]
 	if err := s.SaveFileFormat(*out, outFormat); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("circuit:     %s (%d blocks, %d nets)\n", circuit.Name, circuit.N(), len(circuit.Nets))
+	fmt.Printf("backend:     %s\n", strings.ToLower(*backend))
 	fmt.Printf("placements:  %d\n", s.NumPlacements())
 	fmt.Printf("iterations:  %d (stored %d, died %d, accepted %d)\n",
 		stats.Iterations, stats.Stored, stats.CandidatesDied, stats.Accepted)

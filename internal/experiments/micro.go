@@ -40,6 +40,10 @@ type BenchReport struct {
 	Seed       int64         `json:"seed"`
 	Created    time.Time     `json:"created"`
 	Results    []BenchResult `json:"results"`
+	// Backends holds the per-backend generation comparison when the run
+	// included mpsbench -backends. Informational: CompareBench gates only
+	// on Results, so baseline files without this section stay valid.
+	Backends []BackendRow `json:"backends,omitempty"`
 }
 
 // RunMicro benchmarks the serving stack's critical operations — quick
@@ -136,6 +140,17 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 		{"generate/circ01/quick", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := GenerateForBenchmark("circ01", EffortQuick, seed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The GA backend's twin of the op above — same circuit, budgets,
+		// and fixed seed, so the perf gate watches both generation
+		// backends. The GA runs one seeded population on one goroutine,
+		// making its allocs/op exactly reproducible too.
+		{"generate_ga_fixed_seed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := GenerateBackendForBenchmark("ga", "circ01", EffortQuick, seed); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -315,6 +330,12 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 // declaration order, so two runs differ only where their numbers do —
 // the property the checked-in BENCH_baseline.json diffs rely on.
 func WriteBenchJSON(path string, seed int64, results []BenchResult) error {
+	return WriteBenchReport(path, seed, results, nil)
+}
+
+// WriteBenchReport is WriteBenchJSON plus the optional backends
+// comparison section (mpsbench -backends -json).
+func WriteBenchReport(path string, seed int64, results []BenchResult, backends []BackendRow) error {
 	results = append([]BenchResult(nil), results...)
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 	report := BenchReport{
@@ -325,6 +346,7 @@ func WriteBenchJSON(path string, seed int64, results []BenchResult) error {
 		Seed:       seed,
 		Created:    time.Now().UTC(),
 		Results:    results,
+		Backends:   backends,
 	}
 	_, err := store.WriteFileAtomic(path, func(w io.Writer) error {
 		enc := json.NewEncoder(w)

@@ -31,8 +31,8 @@ import (
 // collapse into "other" so a scanner probing random URLs cannot mint
 // series.
 var routeLabels = []string{
-	"healthz", "metrics", "circuits", "structures", "instantiate",
-	"jobs", "job", "cluster_structure", "cluster_accept",
+	"healthz", "metrics", "circuits", "backends", "structures",
+	"instantiate", "jobs", "job", "cluster_structure", "cluster_accept",
 	"cluster_rebalance", "debug_traces", "debug_trace", "other",
 }
 
@@ -45,6 +45,8 @@ func routeLabel(path string) string {
 		return "metrics"
 	case "/v1/circuits":
 		return "circuits"
+	case "/v1/backends":
+		return "backends"
 	case "/v1/structures":
 		return "structures"
 	case "/v1/instantiate":

@@ -40,6 +40,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -330,20 +331,21 @@ type GenerateSpec struct {
 	Chains        int    `json:"chains,omitempty"`
 	MaxPlacements int    `json:"max_placements,omitempty"`
 	Backup        string `json:"backup,omitempty"` // tree | seqpair
+	// Backend selects the generation backend (GET /v1/backends lists
+	// them); empty means "anneal", so every spec written before backends
+	// existed keeps its meaning, its cache key, and its store artifacts.
+	Backend string `json:"backend,omitempty"`
 	// Portfolio is the member count K; 0 and 1 both mean a single
 	// structure (and share one cache key).
 	Portfolio int `json:"portfolio,omitempty"`
 }
 
-// normalize validates the spec and fills implied defaults so equivalent
-// specs map to one cache key.
-func (g *GenerateSpec) normalize() error {
-	if g.Circuit == "" {
-		return fmt.Errorf("missing circuit")
-	}
-	if _, err := circuits.ByName(g.Circuit); err != nil {
-		return err
-	}
+// validateNames is the one place the spec's enumerated string fields are
+// checked and defaulted: effort, backup, and backend all resolve here,
+// so no path can reach generation with a name validation missed (the
+// backup field used to be the cautionary tale — accepted here, failing
+// only deep in the facade). Mutates the spec to the canonical names.
+func (g *GenerateSpec) validateNames() error {
 	switch g.Effort {
 	case "":
 		g.Effort = "balanced"
@@ -357,6 +359,29 @@ func (g *GenerateSpec) normalize() error {
 	case "tree", "seqpair":
 	default:
 		return fmt.Errorf("unknown backup %q (want tree or seqpair)", g.Backup)
+	}
+	if g.Backend == "" {
+		g.Backend = mps.DefaultBackend
+	}
+	registered := mps.Backends()
+	if !slices.Contains(registered, g.Backend) {
+		return fmt.Errorf("unknown backend %q (registered: %s)",
+			g.Backend, strings.Join(registered, ", "))
+	}
+	return nil
+}
+
+// normalize validates the spec and fills implied defaults so equivalent
+// specs map to one cache key.
+func (g *GenerateSpec) normalize() error {
+	if g.Circuit == "" {
+		return fmt.Errorf("missing circuit")
+	}
+	if _, err := circuits.ByName(g.Circuit); err != nil {
+		return err
+	}
+	if err := g.validateNames(); err != nil {
+		return err
 	}
 	if g.Iterations < 0 || g.BDIOSteps < 0 || g.Chains < 0 || g.MaxPlacements < 0 {
 		return fmt.Errorf("negative budget")
@@ -383,11 +408,16 @@ func (g *GenerateSpec) normalize() error {
 // structure. Effort is deliberately absent: normalize resolved it into
 // concrete Iterations/BDIOSteps, so two specs differing only in how they
 // named the same budgets share one entry. The portfolio suffix appears
-// only for K > 1, so single-structure keys are byte-identical to what
-// pre-portfolio manifests and job files recorded.
+// only for K > 1, and the backend tag only for non-default backends, so
+// single-structure anneal keys are byte-identical to what pre-portfolio
+// and pre-backend manifests and job files recorded — every existing
+// cache entry, store artifact, and cluster assignment stays valid.
 func (g GenerateSpec) key() string {
 	base := fmt.Sprintf("%s|seed=%d|it=%d|bdio=%d|chains=%d|maxp=%d|backup=%s",
 		g.Circuit, g.Seed, g.Iterations, g.BDIOSteps, g.Chains, g.MaxPlacements, g.Backup)
+	if g.Backend != "" && g.Backend != mps.DefaultBackend {
+		base = fmt.Sprintf("%s|backend=%s", base, g.Backend)
+	}
 	if g.Portfolio > 1 {
 		return fmt.Sprintf("%s|k=%d", base, g.Portfolio)
 	}
@@ -660,7 +690,11 @@ func (s *Server) runGeneration(ctx context.Context, spec GenerateSpec, report fu
 		}
 	}
 	s.genRuns.Add(1)
-	st, stats, err = mps.GenerateContext(ctx, circuit, opts)
+	res, err := mps.Run(ctx, mps.Request{Circuit: circuit, Options: opts, Backend: spec.Backend})
+	st = res.Structure
+	if len(res.Stats) > 0 {
+		stats = res.Stats[0]
+	}
 	if err == nil && st != nil {
 		// Compile on the job worker, not on the first instantiate request:
 		// queries against this structure — including the background persist,
@@ -1214,6 +1248,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	mux.HandleFunc("/v1/circuits", s.handleCircuits)
+	mux.HandleFunc("/v1/backends", s.handleBackends)
 	mux.HandleFunc("/v1/structures", s.handleStructures)
 	mux.HandleFunc("/v1/instantiate", s.handleInstantiate)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -1270,6 +1305,29 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"circuits": out})
+}
+
+// backendInfo is one row of the /v1/backends listing.
+type backendInfo struct {
+	Name string `json:"name"`
+	// Default marks the backend a spec without a backend field runs —
+	// and the one whose artifacts carry no backend tag in their keys.
+	Default bool `json:"default"`
+}
+
+// handleBackends lists the registered generation backends — the valid
+// values of GenerateSpec.Backend — so clients can discover them instead
+// of learning the set from 400 responses.
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	var out []backendInfo
+	for _, name := range mps.Backends() {
+		out = append(out, backendInfo{Name: name, Default: name == mps.DefaultBackend})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"backends": out})
 }
 
 // StructureInfo describes one generated structure to clients.

@@ -25,7 +25,6 @@ import (
 	"io"
 	"os"
 
-	"mps/internal/bdio"
 	"mps/internal/circuits"
 	"mps/internal/core"
 	"mps/internal/cost"
@@ -183,29 +182,11 @@ func Generate(c *Circuit, opts Options) (*Structure, Stats, error) {
 // a shutting-down daemon) stop the nested annealers within one inner-SA
 // proposal. On cancellation the error satisfies errors.Is(err,
 // context.Canceled) (or DeadlineExceeded) and no structure is returned.
+//
+// Both Generate and GenerateContext run the default "anneal" backend; to
+// select a different generation backend, use Run with a Request naming it.
 func GenerateContext(ctx context.Context, c *Circuit, opts Options) (*Structure, Stats, error) {
-	iters, bdioSteps := opts.Budgets()
-	s, stats, err := explorer.GenerateContext(ctx, c, explorer.Config{
-		Seed:           opts.Seed,
-		MaxIterations:  iters,
-		MaxPlacements:  opts.MaxPlacements,
-		TargetCoverage: opts.TargetCoverage,
-		Chains:         opts.Chains,
-		Evaluator:      opts.Evaluator,
-		BDIO:           bdio.Config{Steps: bdioSteps},
-		Progress:       opts.Progress,
-	})
-	if err != nil {
-		return nil, stats, err
-	}
-	// Re-merge fork fragments left by overlap resolution; queries are
-	// unaffected, the structure just gets smaller and faster. Renumbering
-	// then packs the ID holes deletion left, so the IDs clients see
-	// survive a save/load round trip (see core.Renumber).
-	s.Compact()
-	s.Renumber()
-	s.SetBackup(newBackup(c, opts.Backup))
-	return &Structure{s}, stats, nil
+	return generateBackend(ctx, c, opts, DefaultBackend)
 }
 
 func newBackup(c *Circuit, kind BackupKind) core.Backup {

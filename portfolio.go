@@ -13,7 +13,6 @@ package mps
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"mps/internal/core"
 	"mps/internal/portfolio"
@@ -47,6 +46,11 @@ func PortfolioMemberSeed(seed int64, i int) int64 { return portfolio.MemberSeed(
 // Members generate concurrently (each may itself run opts.Chains explorer
 // chains). The returned stats slice holds member i's generation stats at
 // index i.
+//
+// Deprecated: use Run with a Request{Circuit: c, Options: opts, K: k} —
+// it adds backend selection (including per-member mixing) behind the
+// same generation pipeline. This wrapper remains for compatibility and
+// behaves identically.
 func GeneratePortfolio(c *Circuit, opts Options, k int) (*Portfolio, []Stats, error) {
 	return GeneratePortfolioContext(context.Background(), c, opts, k)
 }
@@ -54,30 +58,23 @@ func GeneratePortfolio(c *Circuit, opts Options, k int) (*Portfolio, []Stats, er
 // GeneratePortfolioContext is GeneratePortfolio with cooperative
 // cancellation: cancelling the context stops every member generation
 // within one inner-SA proposal and no portfolio is returned.
+//
+// Deprecated: use Run with a Request{Circuit: c, Options: opts, K: k};
+// see GeneratePortfolio.
 func GeneratePortfolioContext(ctx context.Context, c *Circuit, opts Options, k int) (*Portfolio, []Stats, error) {
 	if k < 1 || k > MaxPortfolioMembers {
 		return nil, nil, fmt.Errorf("mps: portfolio size %d outside [1, %d]", k, MaxPortfolioMembers)
 	}
-	members := make([]*Structure, k)
-	stats := make([]Stats, k)
-	errs := make([]error, k)
-	var wg sync.WaitGroup
-	for i := 0; i < k; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			mopts := opts
-			mopts.Seed = PortfolioMemberSeed(opts.Seed, i)
-			members[i], stats[i], errs[i] = GenerateContext(ctx, c, mopts)
-		}(i)
+	if c == nil {
+		return nil, nil, fmt.Errorf("mps: run: nil circuit")
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, stats, fmt.Errorf("mps: generating portfolio member %d: %w", i, err)
-		}
+	res, err := Run(ctx, Request{Circuit: c, Options: opts, K: k})
+	if err != nil {
+		// Preserve the historical contract: no portfolio on error, but the
+		// per-member stats gathered so far are still returned.
+		return nil, res.Stats, err
 	}
-	return newPortfolio(members, stats)
+	return res.Portfolio, res.Stats, nil
 }
 
 // newPortfolio wraps generated/loaded members in the routing layer.

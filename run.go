@@ -1,0 +1,158 @@
+package mps
+
+// This file is the backend-aware entry point of the facade. Run is the
+// one generation call every shape reduces to: single structure or
+// K-member portfolio, any registered backend, uniform cancellation. The
+// older positional functions (Generate, GenerateContext,
+// GeneratePortfolio, GeneratePortfolioContext) remain as thin wrappers.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mps/internal/gen"
+)
+
+// DefaultBackend is the generation backend used when a Request (or a
+// serve spec, or a CLI flag) names none: "anneal", the paper's nested
+// simulated annealing.
+const DefaultBackend = gen.Default
+
+// Backends returns the registered generation backend names, sorted.
+func Backends() []string { return gen.Names() }
+
+// Request describes one generation run for Run: which circuit, which
+// options, which backend, and how many structures.
+type Request struct {
+	// Circuit is the circuit to generate for. Required.
+	Circuit *Circuit
+	// Options tunes generation exactly as for Generate. For portfolios
+	// (K >= 1) member i runs with Seed = PortfolioMemberSeed(Options.Seed, i)
+	// and every other option unchanged.
+	Options Options
+	// Backend names the generation backend ("" = DefaultBackend). Unknown
+	// names fail fast, before any generation work starts, with an error
+	// listing the registered backends.
+	Backend string
+	// K selects the output shape: 0 produces a single Structure, 1..
+	// MaxPortfolioMembers a K-member Portfolio. (K == 1 is a genuine
+	// 1-member portfolio, matching GeneratePortfolio(c, opts, 1).)
+	K int
+	// MemberBackends optionally overrides Backend per portfolio member:
+	// member i uses MemberBackends[i] when non-empty, else Backend. Must
+	// be empty or length K. Mixing backends widens portfolio coverage —
+	// members explore dimension space with different search dynamics.
+	MemberBackends []string
+}
+
+// backendFor resolves member i's backend name ("" = Request.Backend).
+func (req Request) backendFor(i int) string {
+	if i < len(req.MemberBackends) && req.MemberBackends[i] != "" {
+		return req.MemberBackends[i]
+	}
+	return req.Backend
+}
+
+// RunResult is Run's output: exactly one of Structure (K == 0) or
+// Portfolio (K >= 1) is set. Stats holds per-generation statistics —
+// one entry for a single structure, member i's stats at index i for a
+// portfolio.
+type RunResult struct {
+	Structure *Structure
+	Portfolio *Portfolio
+	Stats     []Stats
+}
+
+// Run is the backend-aware generation entry point: it validates the
+// request (including every backend name) before any annealing or
+// evolution starts, generates the structure or the portfolio members
+// (members concurrently, each from its PortfolioMemberSeed-derived
+// seed), and installs the Options.Backup uncovered-space fallback on
+// every structure produced. Cancelling the context stops all generation
+// within one inner-SA proposal and returns the context's error.
+func Run(ctx context.Context, req Request) (RunResult, error) {
+	if req.Circuit == nil {
+		return RunResult{}, fmt.Errorf("mps: run: nil circuit")
+	}
+	if _, err := gen.ByName(req.Backend); err != nil {
+		return RunResult{}, fmt.Errorf("mps: %w", err)
+	}
+	if req.K == 0 {
+		if len(req.MemberBackends) != 0 {
+			return RunResult{}, fmt.Errorf("mps: run: member backends given for a single-structure request")
+		}
+		s, stats, err := generateBackend(ctx, req.Circuit, req.Options, req.Backend)
+		if err != nil {
+			return RunResult{Stats: []Stats{stats}}, err
+		}
+		return RunResult{Structure: s, Stats: []Stats{stats}}, nil
+	}
+	if req.K < 0 || req.K > MaxPortfolioMembers {
+		return RunResult{}, fmt.Errorf("mps: portfolio size %d outside [1, %d]", req.K, MaxPortfolioMembers)
+	}
+	if len(req.MemberBackends) != 0 && len(req.MemberBackends) != req.K {
+		return RunResult{}, fmt.Errorf("mps: run: %d member backends for a %d-member portfolio",
+			len(req.MemberBackends), req.K)
+	}
+	for i := 0; i < req.K; i++ {
+		if _, err := gen.ByName(req.backendFor(i)); err != nil {
+			return RunResult{}, fmt.Errorf("mps: portfolio member %d: %w", i, err)
+		}
+	}
+
+	members := make([]*Structure, req.K)
+	stats := make([]Stats, req.K)
+	errs := make([]error, req.K)
+	var wg sync.WaitGroup
+	for i := 0; i < req.K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mopts := req.Options
+			mopts.Seed = PortfolioMemberSeed(req.Options.Seed, i)
+			members[i], stats[i], errs[i] = generateBackend(ctx, req.Circuit, mopts, req.backendFor(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return RunResult{Stats: stats}, fmt.Errorf("mps: generating portfolio member %d: %w", i, err)
+		}
+	}
+	p, stats, err := newPortfolio(members, stats)
+	if err != nil {
+		return RunResult{Stats: stats}, err
+	}
+	return RunResult{Portfolio: p, Stats: stats}, nil
+}
+
+// generateBackend runs one generation through the named backend and
+// finishes the structure with the facade's backup installation. The
+// backend returns a compacted, renumbered, backup-free structure (the
+// gen.Generator contract); the backup is facade policy because it is
+// derived from the circuit and the Options.Backup choice, not from how
+// generation searched.
+func generateBackend(ctx context.Context, c *Circuit, opts Options, backend string) (*Structure, Stats, error) {
+	g, err := gen.ByName(backend)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("mps: %w", err)
+	}
+	iters, bdioSteps := opts.Budgets()
+	s, stats, err := g.Generate(ctx, c, gen.Spec{
+		Backend:        g.Name(),
+		Seed:           opts.Seed,
+		Iterations:     iters,
+		BDIOSteps:      bdioSteps,
+		Chains:         opts.Chains,
+		MaxPlacements:  opts.MaxPlacements,
+		TargetCoverage: opts.TargetCoverage,
+		Evaluator:      opts.Evaluator,
+		Progress:       opts.Progress,
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	s.SetBackup(newBackup(c, opts.Backup))
+	return &Structure{s}, stats, nil
+}
