@@ -23,6 +23,11 @@ import (
 type DimQuery struct {
 	Ws []int
 	Hs []int
+	// Weights optionally routes this query by weighted per-objective cost
+	// in portfolio batches (see Portfolio.InstantiateWeighted). The zero
+	// vector is the default area-then-deadspace rule; single-structure
+	// batches ignore it (there is only one member to route to).
+	Weights Weights
 }
 
 // BatchResult pairs one query's instantiation result with its error, so a
@@ -139,8 +144,10 @@ func (p *Portfolio) InstantiateBatch(queries []DimQuery) []BatchResult {
 
 // InstantiateBatchWorkers is the portfolio InstantiateBatch with an
 // explicit worker bound, mirroring Structure.InstantiateBatchWorkers.
+// Queries carrying a non-zero Weights vector route by weighted cost;
+// the rest take the default area rule unchanged.
 func (p *Portfolio) InstantiateBatchWorkers(queries []DimQuery, workers int) []BatchResult {
 	return runBatch(queries, workers, func(q DimQuery, out *BatchResult) {
-		out.Member, out.Err = p.InstantiateInto(&out.Result, q.Ws, q.Hs)
+		out.Member, out.Err = p.InstantiateWeightedInto(&out.Result, q.Weights, q.Ws, q.Hs)
 	})
 }

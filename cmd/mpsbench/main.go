@@ -11,6 +11,11 @@
 //	mpsbench -queryperf             # tree vs compiled query-path comparison
 //	mpsbench -portfolio 3           # best-of-K portfolio study: coverage and
 //	                                # mean-area deltas vs a single structure
+//	mpsbench -pareto 3              # Pareto portfolio study: weight-diverse vs
+//	                                # seed-diverse members at equal K, coverage
+//	                                # and per-objective routed cost; with -json
+//	                                # the rows land in BENCH_results.json under
+//	                                # "pareto"
 //	mpsbench -backends              # generation-backend comparison (anneal vs
 //	                                # ga): coverage/cost/wall-clock per circuit;
 //	                                # with -json the rows land in
@@ -52,6 +57,7 @@ func main() {
 	saveload := flag.Bool("saveload", false, "benchmark the on-disk codecs: gob v1 vs binary v2 per circuit (extension)")
 	queryperf := flag.Bool("queryperf", false, "compare the tree and compiled query paths per circuit (ns/op, allocs/op)")
 	portfolioK := flag.Int("portfolio", 0, "best-of-K portfolio study: coverage and mean-area deltas vs K=1 (0 = off; try 3)")
+	paretoK := flag.Int("pareto", 0, "Pareto portfolio study: weight-diverse vs seed-diverse members at equal K (0 = off; try 3); with -json the rows land in BENCH_results.json under \"pareto\"")
 	backends := flag.Bool("backends", false, "compare generation backends (anneal, ga, ...) per circuit: coverage, cost, wall clock")
 	micro := flag.Bool("micro", false, "run the serving-stack micro-benchmarks (generate, instantiate, codecs)")
 	jsonOut := flag.Bool("json", false, "write micro-benchmark results to BENCH_results.json (implies -micro; lands in -out when set)")
@@ -72,8 +78,11 @@ func main() {
 		if *portfolioK == 0 {
 			*portfolioK = 3
 		}
+		if *paretoK == 0 {
+			*paretoK = 3
+		}
 	}
-	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload || *micro || *queryperf || *backends || *portfolioK > 0) {
+	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *scaling || *synthCmp || *saveload || *micro || *queryperf || *backends || *portfolioK > 0 || *paretoK > 0) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -191,6 +200,15 @@ func main() {
 		}
 		fmt.Println()
 	}
+	var paretoRows []experiments.ParetoRow
+	if *paretoK > 0 {
+		rows, err := experiments.RunPareto(os.Stdout, effort, *seed, *paretoK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		paretoRows = rows
+		fmt.Println()
+	}
 	var backendRows []experiments.BackendRow
 	if *backends {
 		rows, err := experiments.RunBackends(os.Stdout, effort, *seed)
@@ -212,7 +230,7 @@ func main() {
 				dir = "."
 			}
 			path := filepath.Join(dir, "BENCH_results.json")
-			if err := experiments.WriteBenchReport(path, *seed, results, backendRows); err != nil {
+			if err := experiments.WriteBenchReport(path, *seed, results, backendRows, paretoRows); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote %s\n", path)

@@ -1,5 +1,6 @@
 // Command mpsload drives a measured mixed workload — structure
-// generation, batched instantiation, portfolio builds — against one or
+// generation, batched instantiation, portfolio builds, and weighted
+// instantiation against weight-diverse portfolios — against one or
 // more mpsd nodes and reports p50/p90/p99/p99.9 latency per operation
 // and per entry node.
 //
@@ -11,7 +12,12 @@
 //
 //	mpsload -targets http://127.0.0.1:8723,http://127.0.0.1:8724 \
 //	    -duration 30s -concurrency 16 \
-//	    -mix generate=1,instantiate=8,portfolio=1
+//	    -mix generate=1,instantiate=8,portfolio=1,weighted=2
+//
+// The weighted op batches instantiate queries against a member_weights
+// portfolio with per-query routing weights cycling the facade's weight
+// ladder, so the weighted route path is measured alongside the legacy
+// smallest-area one.
 //
 // The -smoke preset shrinks the run (3s, small budgets) for CI: the
 // exit status is 0 only if every request succeeded, so a flaky cluster
@@ -39,7 +45,7 @@ func main() {
 	targets := flag.String("targets", "http://127.0.0.1:8723", "comma-separated mpsd base URLs; each request picks one uniformly")
 	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
 	concurrency := flag.Int("concurrency", 8, "concurrent workers")
-	mixFlag := flag.String("mix", "generate=1,instantiate=8,portfolio=1", "op weights, e.g. generate=1,instantiate=8,portfolio=1")
+	mixFlag := flag.String("mix", "generate=1,instantiate=8,portfolio=1", "op weights, e.g. generate=1,instantiate=8,portfolio=1,weighted=2")
 	circuit := flag.String("circuit", "circ01", "benchmark circuit to size")
 	seeds := flag.Int("seeds", 4, "distinct structure seeds the workload cycles through")
 	effort := flag.String("effort", "quick", "generation effort preset")

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mps/internal/cost"
+	"mps/internal/geom"
+	"mps/internal/netlist"
+)
+
+// termsStructure is codecStructure with a deliberately rich net list —
+// a weighted 3-pin net, a pad stub and a plain 2-pin net — so the wire
+// term exercises every branch of cost.netLength the netlist builder can
+// produce.
+func termsStructure(t testing.TB, count int) *Structure {
+	t.Helper()
+	b := netlist.NewBuilder("terms")
+	for _, n := range []string{"a", "b", "c", "d"} {
+		b.Block(n, 1, 4*count+48, 1, 40)
+	}
+	b.Net("tri", 2.5, netlist.P("a"), netlist.PAt("b", 0.25, 0.75), netlist.P("c"))
+	b.Net("pad", 1.5, netlist.T("d", 0.5, 0.5))
+	b.Net("pair", 0, netlist.P("c"), netlist.P("d")) // weight 0 counts as 1
+	c := b.MustBuild()
+	fp := geom.NewRect(0, 0, 16*count+400, 16*count+400)
+	s := NewStructure(c, fp)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < count; i++ {
+		lo := 4*i + 1
+		p := mk(1+rng.Float64(), [2]int{lo, lo + 3}, [2]int{1, 40}, [2]int{1, 40}, [2]int{1, 40})
+		p.X = []int{0, 100, 200, 300}
+		p.Y = []int{0, 100, 200, 300}
+		p.WLo = append(p.WLo, 1, 1)
+		p.WHi = append(p.WHi, 40, 40)
+		p.HLo = append(p.HLo, 1, 1)
+		p.HHi = append(p.HHi, 40, 40)
+		if _, err := s.store(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestCoveredTermsMatchesCostVector is the probe's defining property:
+// on every covered query, CoveredTerms equals cost.Vector evaluated on
+// the instantiated layout, and its area/dead terms equal CoveredArea's.
+func TestCoveredTermsMatchesCostVector(t *testing.T) {
+	s := termsStructure(t, 40)
+	cs := Compile(s)
+	rng := rand.New(rand.NewSource(3))
+	n := s.circuit.N()
+	ws, hs := make([]int, n), make([]int, n)
+	var res Result
+	covered := 0
+	for trial := 0; trial < 2000; trial++ {
+		if trial%2 == 0 {
+			// Inside placement trial%40's validity box: block a's width in
+			// [4i+1, 4i+4], everything else within the shared [1, 40].
+			i := rng.Intn(40)
+			ws[0] = 4*i + 1 + rng.Intn(4)
+			for j := 1; j < n; j++ {
+				ws[j] = 1 + rng.Intn(40)
+			}
+			for j := 0; j < n; j++ {
+				hs[j] = 1 + rng.Intn(40)
+			}
+		} else {
+			randomDims(s, rng, ws, hs)
+		}
+		terms, ok, err := cs.CoveredTerms(ws, hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		area, dead, okArea, err := cs.CoveredArea(ws, hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != okArea {
+			t.Fatalf("CoveredTerms ok=%v but CoveredArea ok=%v at %v/%v", ok, okArea, ws, hs)
+		}
+		if !ok {
+			continue
+		}
+		covered++
+		if terms.Area != area || terms.Dead != dead {
+			t.Fatalf("terms area/dead %d/%d != CoveredArea %d/%d", terms.Area, terms.Dead, area, dead)
+		}
+		hit, err := cs.InstantiateCoveredInto(&res, ws, hs)
+		if err != nil || !hit {
+			t.Fatalf("covered query did not instantiate: hit=%v err=%v", hit, err)
+		}
+		want := cost.Vector(&cost.Layout{
+			Circuit: s.circuit, X: res.X, Y: res.Y, W: ws, H: hs, Floorplan: s.fp,
+		})
+		if terms != want {
+			t.Fatalf("CoveredTerms %+v != cost.Vector %+v at %v/%v", terms, want, ws, hs)
+		}
+	}
+	if covered < 100 {
+		t.Fatalf("only %d/2000 covered queries — the property barely ran", covered)
+	}
+}
+
+// TestCoveredTermsAllocFree pins the routing-probe contract weighted
+// portfolio routing relies on: zero allocations per covered probe.
+func TestCoveredTermsAllocFree(t *testing.T) {
+	s := termsStructure(t, 40)
+	cs := Compile(s)
+	n := s.circuit.N()
+	ws, hs := make([]int, n), make([]int, n)
+	rng := rand.New(rand.NewSource(9))
+	for {
+		randomDims(s, rng, ws, hs)
+		if _, ok, _ := cs.CoveredTerms(ws, hs); ok {
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok, err := cs.CoveredTerms(ws, hs); !ok || err != nil {
+			t.Fatalf("probe lost coverage: ok=%v err=%v", ok, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CoveredTerms allocates %.1f per covered probe, want 0", allocs)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mps/internal/core"
+	"mps/internal/cost"
 	"mps/internal/obs"
 	"mps/internal/portfolio"
 	"mps/internal/stats"
@@ -44,6 +45,9 @@ type BenchReport struct {
 	// included mpsbench -backends. Informational: CompareBench gates only
 	// on Results, so baseline files without this section stay valid.
 	Backends []BackendRow `json:"backends,omitempty"`
+	// Pareto holds the weight-diverse vs seed-diverse portfolio study when
+	// the run included mpsbench -pareto. Informational, like Backends.
+	Pareto []ParetoRow `json:"pareto,omitempty"`
 }
 
 // RunMicro benchmarks the serving stack's critical operations — quick
@@ -259,6 +263,21 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 				}
 			}
 		}},
+		// Weight-aware best-of-K routing on the same covered pool: K
+		// CoveredTerms probes (area, dead space, wire, aspect per member)
+		// plus one InstantiateCoveredInto. Weighted routing must stay off
+		// the allocator exactly like the area rule — the CI gate pins this
+		// at 0 allocs/op too.
+		{"portfolio_route_weighted/TwoStageOpamp", func(b *testing.B) {
+			w := cost.Weights{Wire: 1, Area: 0.01}
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				q := i % batchSize
+				if member, err := pf.InstantiateWeightedInto(&res, w, pws[q], phs[q]); err != nil || member < 0 {
+					b.Fatalf("member %d, err %v", member, err)
+				}
+			}
+		}},
 		// The portfolio twin of instantiate_compiled: the mixed
 		// covered/backup stream through best-of-K routing.
 		{"portfolio_mixed/TwoStageOpamp", func(b *testing.B) {
@@ -330,12 +349,13 @@ func RunMicro(w io.Writer, seed int64) ([]BenchResult, error) {
 // declaration order, so two runs differ only where their numbers do —
 // the property the checked-in BENCH_baseline.json diffs rely on.
 func WriteBenchJSON(path string, seed int64, results []BenchResult) error {
-	return WriteBenchReport(path, seed, results, nil)
+	return WriteBenchReport(path, seed, results, nil, nil)
 }
 
 // WriteBenchReport is WriteBenchJSON plus the optional backends
-// comparison section (mpsbench -backends -json).
-func WriteBenchReport(path string, seed int64, results []BenchResult, backends []BackendRow) error {
+// (mpsbench -backends -json) and pareto (mpsbench -pareto -json)
+// sections.
+func WriteBenchReport(path string, seed int64, results []BenchResult, backends []BackendRow, pareto []ParetoRow) error {
 	results = append([]BenchResult(nil), results...)
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 	report := BenchReport{
@@ -347,6 +367,7 @@ func WriteBenchReport(path string, seed int64, results []BenchResult, backends [
 		Created:    time.Now().UTC(),
 		Results:    results,
 		Backends:   backends,
+		Pareto:     pareto,
 	}
 	_, err := store.WriteFileAtomic(path, func(w io.Writer) error {
 		enc := json.NewEncoder(w)

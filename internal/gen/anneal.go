@@ -28,7 +28,7 @@ func (annealBackend) Generate(ctx context.Context, c *netlist.Circuit, spec Spec
 		MaxPlacements:  spec.MaxPlacements,
 		TargetCoverage: spec.TargetCoverage,
 		Chains:         spec.Chains,
-		Evaluator:      spec.Evaluator,
+		Evaluator:      spec.evaluator(),
 		BDIO:           bdio.Config{Steps: spec.BDIOSteps},
 		Progress:       spec.Progress,
 	})

@@ -70,7 +70,7 @@ func (gaBackend) Generate(ctx context.Context, c *netlist.Circuit, spec Spec) (*
 		iters = 300
 	}
 	fp := placement.DefaultFloorplan(c)
-	ev := spec.Evaluator
+	ev := spec.evaluator()
 	if ev == nil {
 		ev = cost.DefaultWeights
 	}

@@ -96,9 +96,28 @@ type Spec struct {
 	// backends score candidates with the same evaluator, so cross-backend
 	// cost columns are comparable.
 	Evaluator cost.Evaluator
+	// Weights selects the weighted objective vector candidates are scored
+	// with (see cost.Weights): the zero vector means the default balanced
+	// cost, bit-identical to generation before weights existed. Ignored
+	// when Evaluator is set — an explicit evaluator always wins.
+	Weights cost.Weights
 	// Progress observes generation, once per candidate evaluation.
 	// Called on the generating goroutine; keep it fast.
 	Progress func(Progress)
+}
+
+// evaluator resolves the cost hook a backend scores with: the explicit
+// Evaluator when set, the weighted objective when Weights is non-zero,
+// else nil — which leaves each backend on its historical default path,
+// keeping weightless specs bit-identical to pre-weights output.
+func (s Spec) evaluator() cost.Evaluator {
+	if s.Evaluator != nil {
+		return s.Evaluator
+	}
+	if !s.Weights.IsZero() {
+		return s.Weights.Canonical()
+	}
+	return nil
 }
 
 // Generator is one generation backend.

@@ -1,7 +1,7 @@
 // Package loadgen is the measured load harness behind cmd/mpsload: a
-// mixed generate/instantiate/portfolio workload driver for one or more
-// mpsd nodes, recording latency histograms per operation and per entry
-// node. It exists to answer the operational questions the unit tests
+// mixed generate/instantiate/portfolio/weighted workload driver for one
+// or more mpsd nodes, recording latency histograms per operation and
+// per entry node. It exists to answer the operational questions the unit tests
 // cannot — what the serving fleet's p50/p99/p99.9 look like under
 // concurrent mixed traffic — with no dependencies beyond the standard
 // library, so it can run anywhere the daemon does.
@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mps/internal/circuits"
+	"mps/internal/cost"
 	"mps/internal/netlist"
 	"mps/internal/obs"
 )
@@ -44,16 +45,21 @@ import (
 type Histogram = obs.Histogram
 
 // Mix is the workload's operation weighting. A request is one of the
-// three ops with probability proportional to its weight; zero disables
-// the op. The zero Mix means the default 1/8/1 — mostly instantiate
-// traffic against hot keys, the paper's serving regime.
+// ops with probability proportional to its weight; zero disables the
+// op. The zero Mix means the default 1/8/1 generate/instantiate/
+// portfolio — mostly instantiate traffic against hot keys, the paper's
+// serving regime. Weighted is batched instantiation against a
+// weight-diverse portfolio with per-query routing weights cycling the
+// ladder rungs, putting the weighted route path (and, in cluster mode,
+// its forwarding) on the measured path; it weighs zero by default.
 type Mix struct {
 	Generate    int `json:"generate"`
 	Instantiate int `json:"instantiate"`
 	Portfolio   int `json:"portfolio"`
+	Weighted    int `json:"weighted"`
 }
 
-func (m Mix) total() int { return m.Generate + m.Instantiate + m.Portfolio }
+func (m Mix) total() int { return m.Generate + m.Instantiate + m.Portfolio + m.Weighted }
 
 // ParseMix parses the -mix flag form "generate=1,instantiate=8,portfolio=1".
 // Omitted ops weigh zero; at least one op must be positive.
@@ -79,8 +85,10 @@ func ParseMix(s string) (Mix, error) {
 			m.Instantiate = w
 		case "portfolio":
 			m.Portfolio = w
+		case "weighted":
+			m.Weighted = w
 		default:
-			return Mix{}, fmt.Errorf("loadgen: unknown op %q (want generate, instantiate, or portfolio)", name)
+			return Mix{}, fmt.Errorf("loadgen: unknown op %q (want generate, instantiate, portfolio, or weighted)", name)
 		}
 	}
 	if m.total() <= 0 {
@@ -203,8 +211,8 @@ func (st *OpStats) addExemplar(e Exemplar) {
 
 // Result is one load run's measurements.
 type Result struct {
-	// Ops maps operation name (generate, instantiate, portfolio) to its
-	// latency histogram and error count.
+	// Ops maps operation name (generate, instantiate, portfolio,
+	// weighted) to its latency histogram and error count.
 	Ops map[string]*OpStats
 	// Nodes maps entry-node URL to the same, over all ops sent there.
 	Nodes map[string]*OpStats
@@ -333,7 +341,10 @@ func (w *worker) pickOp() string {
 	if r < w.cfg.Mix.Generate+w.cfg.Mix.Instantiate {
 		return "instantiate"
 	}
-	return "portfolio"
+	if r < w.cfg.Mix.Generate+w.cfg.Mix.Instantiate+w.cfg.Mix.Portfolio {
+		return "portfolio"
+	}
+	return "weighted"
 }
 
 // spec builds the generation spec JSON for one of the workload's seeds,
@@ -369,12 +380,57 @@ func (w *worker) query() map[string][]int {
 	return map[string][]int{"ws": ws, "hs": hs}
 }
 
+// weightsJSON renders a weight vector as the API's weights object,
+// omitting zero components like WeightsSpec's omitempty tags do.
+func weightsJSON(w cost.Weights) map[string]float64 {
+	out := map[string]float64{}
+	if w.Wire != 0 {
+		out["wire"] = w.Wire
+	}
+	if w.Area != 0 {
+		out["area"] = w.Area
+	}
+	if w.Aspect != 0 {
+		out["aspect"] = w.Aspect
+	}
+	return out
+}
+
 func (w *worker) do(ctx context.Context, op, target string) (string, error) {
 	switch op {
 	case "generate":
 		return w.post(ctx, target+"/v1/structures", w.spec(1))
 	case "portfolio":
 		return w.post(ctx, target+"/v1/structures", w.spec(w.cfg.Portfolio))
+	case "weighted":
+		// Batched instantiation against a weight-diverse portfolio: the
+		// spec pins member_weights to the facade's ladder (weight
+		// diversity over HTTP is always explicit), and each query routes
+		// under a different ladder rung, exercising the weighted route
+		// path instead of the legacy smallest-area rule.
+		k := w.cfg.Portfolio
+		if k < 2 {
+			k = 2 // member_weights requires a portfolio
+		}
+		ladder := cost.WeightLadder(k)
+		spec := w.spec(k)
+		members := make([]map[string]float64, len(ladder))
+		for i, rung := range ladder {
+			members[i] = weightsJSON(rung)
+		}
+		spec["member_weights"] = members
+		queries := make([]map[string]any, w.cfg.Batch)
+		for i := range queries {
+			q := w.query()
+			queries[i] = map[string]any{
+				"ws": q["ws"], "hs": q["hs"],
+				"weights": weightsJSON(ladder[i%len(ladder)]),
+			}
+		}
+		return w.post(ctx, target+"/v1/instantiate", map[string]any{
+			"spec":    spec,
+			"queries": queries,
+		})
 	default: // instantiate
 		queries := make([]map[string][]int, w.cfg.Batch)
 		for i := range queries {

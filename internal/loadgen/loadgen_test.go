@@ -1,8 +1,10 @@
 package loadgen
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -20,10 +22,12 @@ func TestParseMix(t *testing.T) {
 		want Mix
 		ok   bool
 	}{
-		{"generate=1,instantiate=8,portfolio=1", Mix{1, 8, 1}, true},
-		{"instantiate=5", Mix{0, 5, 0}, true},
-		{" generate = 2 , portfolio = 3 ", Mix{2, 0, 3}, true},
-		{"generate=0,instantiate=0,portfolio=0", Mix{}, false},
+		{"generate=1,instantiate=8,portfolio=1", Mix{Generate: 1, Instantiate: 8, Portfolio: 1}, true},
+		{"instantiate=5", Mix{Instantiate: 5}, true},
+		{" generate = 2 , portfolio = 3 ", Mix{Generate: 2, Portfolio: 3}, true},
+		{"weighted=4", Mix{Weighted: 4}, true},
+		{"instantiate=8,weighted=2", Mix{Instantiate: 8, Weighted: 2}, true},
+		{"generate=0,instantiate=0,portfolio=0,weighted=0", Mix{}, false},
 		{"", Mix{}, false},
 		{"bogus=1", Mix{}, false},
 		{"generate=-1", Mix{}, false},
@@ -45,7 +49,7 @@ func TestParseMix(t *testing.T) {
 // stub: every op lands, per-op and per-node histograms fill in, error
 // responses are counted not fatal, and the table/summary render.
 func TestRunAgainstStub(t *testing.T) {
-	var generates, instantiates atomic.Int64
+	var generates, instantiates, weighted atomic.Int64
 	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
 		case "/v1/structures":
@@ -53,6 +57,10 @@ func TestRunAgainstStub(t *testing.T) {
 			w.Write([]byte(`{"ok":true}`))
 		case "/v1/instantiate":
 			instantiates.Add(1)
+			body, _ := io.ReadAll(r.Body)
+			if bytes.Contains(body, []byte(`"member_weights"`)) && bytes.Contains(body, []byte(`"weights"`)) {
+				weighted.Add(1)
+			}
 			w.Write([]byte(`{"ok":true}`))
 		default:
 			http.Error(w, "lost", http.StatusNotFound)
@@ -69,7 +77,7 @@ func TestRunAgainstStub(t *testing.T) {
 		Targets:     []string{good.URL, bad.URL},
 		Duration:    300 * time.Millisecond,
 		Concurrency: 4,
-		Mix:         Mix{Generate: 1, Instantiate: 2, Portfolio: 1},
+		Mix:         Mix{Generate: 1, Instantiate: 2, Portfolio: 1, Weighted: 1},
 		Seeds:       2,
 		Batch:       2,
 	})
@@ -82,6 +90,14 @@ func TestRunAgainstStub(t *testing.T) {
 	if generates.Load() == 0 || instantiates.Load() == 0 {
 		t.Fatalf("stub saw generates=%d instantiates=%d, want both > 0",
 			generates.Load(), instantiates.Load())
+	}
+	// The weighted op posts a member_weights portfolio spec with
+	// per-query routing weights to /v1/instantiate.
+	if weighted.Load() == 0 {
+		t.Errorf("stub saw no weighted instantiate bodies")
+	}
+	if st := res.Ops["weighted"]; st == nil || st.Hist.Count() == 0 {
+		t.Errorf("weighted op recorded no traffic: %+v", st)
 	}
 	// The bad node errors every request; the good node errors none.
 	if st := res.Nodes[bad.URL]; st == nil || st.Errors != st.Hist.Count() || st.Errors == 0 {

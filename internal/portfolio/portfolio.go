@@ -20,6 +20,18 @@
 // portfolio fall back — to member 0's installed backup, exactly the
 // single-structure fallback semantics.
 //
+// # Weighted routing
+//
+// A query may carry a cost.Weights vector (RouteWeighted,
+// InstantiateWeightedInto): covering members are then probed for their
+// full per-objective term vector (CompiledStructure.CoveredTerms) and the
+// winner minimizes the query's weighted scalarized cost, ties broken by
+// the legacy (area, dead space, index) rule. The zero weight vector takes
+// the legacy area-rule path verbatim — same probes, same decisions, same
+// zero allocations — so callers that never weight queries are unchanged.
+// Members built via NewWeighted additionally record the weights they were
+// generated under (MemberWeights), purely as routing-diagnostic metadata.
+//
 // # Concurrency
 //
 // A Portfolio is immutable after New and safe for any number of
@@ -33,6 +45,7 @@ import (
 	"math/rand"
 
 	"mps/internal/core"
+	"mps/internal/cost"
 	"mps/internal/netlist"
 )
 
@@ -56,6 +69,11 @@ type Portfolio struct {
 	circuit  *netlist.Circuit
 	members  []*core.Structure
 	compiled []*core.CompiledStructure
+	// weights records each member's generation objective (zero = the
+	// default balanced cost). Metadata only — routing reads query
+	// weights, never member weights — but persisted so warm starts can
+	// report how a portfolio's members were diversified.
+	weights []cost.Weights
 }
 
 // Result is one portfolio instantiation: the winning member's placement
@@ -74,11 +92,28 @@ type Result struct {
 // cost. The member order is preserved — it is the routing tie-break and
 // member 0's backup is the uncovered-space fallback.
 func New(members []*core.Structure) (*Portfolio, error) {
+	return NewWeighted(members, nil)
+}
+
+// NewWeighted is New additionally recording each member's generation
+// weights: weights must be empty (no record) or one valid vector per
+// member, member i's at index i (the zero vector meaning the default
+// balanced objective). The weights do not alter routing — they are the
+// metadata MemberWeights reports and the serving layer persists.
+func NewWeighted(members []*core.Structure, weights []cost.Weights) (*Portfolio, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("portfolio: no members")
 	}
 	if len(members) > MaxMembers {
 		return nil, fmt.Errorf("portfolio: %d members exceeds the maximum %d", len(members), MaxMembers)
+	}
+	if len(weights) != 0 && len(weights) != len(members) {
+		return nil, fmt.Errorf("portfolio: %d member weights for %d members", len(weights), len(members))
+	}
+	for i, w := range weights {
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("portfolio: member %d weights: %w", i, err)
+		}
 	}
 	for i, m := range members {
 		if m == nil {
@@ -90,6 +125,7 @@ func New(members []*core.Structure) (*Portfolio, error) {
 		circuit:  c,
 		members:  append([]*core.Structure(nil), members...),
 		compiled: make([]*core.CompiledStructure, len(members)),
+		weights:  append([]cost.Weights(nil), weights...),
 	}
 	for i, m := range members {
 		if err := sameCircuit(c, m.Circuit()); err != nil {
@@ -137,6 +173,15 @@ func (p *Portfolio) Members() []*core.Structure {
 	return append([]*core.Structure(nil), p.members...)
 }
 
+// MemberWeights returns each member's recorded generation weights in
+// member order (the zero vector when no record was attached). The slice
+// is a copy.
+func (p *Portfolio) MemberWeights() []cost.Weights {
+	out := make([]cost.Weights, len(p.members))
+	copy(out, p.weights)
+	return out
+}
+
 // NumPlacements returns the total stored placements across members.
 func (p *Portfolio) NumPlacements() int {
 	total := 0
@@ -174,6 +219,60 @@ func (p *Portfolio) route(ws, hs []int) (member int, area, dead int64, err error
 	return member, area, dead, nil
 }
 
+// RouteWeighted returns the member the query routes to under the weight
+// vector w, or -1 when no member covers the query. The zero vector is
+// the default area rule (exactly Route); any other vector picks the
+// covering member with the smallest w-scalarized per-objective cost,
+// ties broken by the legacy (area, dead space, index) rule.
+func (p *Portfolio) RouteWeighted(w cost.Weights, ws, hs []int) (member int, err error) {
+	member, _, _, err = p.routeWeighted(w, ws, hs)
+	return member, err
+}
+
+// routeWeighted is route generalized to a weighted objective. Zero
+// allocations: probes go through CoveredTerms.
+func (p *Portfolio) routeWeighted(w cost.Weights, ws, hs []int) (member int, area, dead int64, err error) {
+	if w.IsZero() {
+		return p.route(ws, hs)
+	}
+	member = -1
+	var best float64
+	for m, cs := range p.compiled {
+		t, ok, err := cs.CoveredTerms(ws, hs)
+		if err != nil {
+			return -1, 0, 0, err
+		}
+		if !ok {
+			continue
+		}
+		c := w.Scalarize(t)
+		if member < 0 || c < best ||
+			(c == best && (t.Area < area || (t.Area == area && t.Dead < dead))) {
+			member, best, area, dead = m, c, t.Area, t.Dead
+		}
+	}
+	return member, area, dead, nil
+}
+
+// RouteTerms routes the query under w and additionally reports the
+// winning member's per-objective term vector — the measurement hook the
+// pareto experiments read. member is -1 (with zero Terms) when no member
+// covers the query.
+func (p *Portfolio) RouteTerms(w cost.Weights, ws, hs []int) (member int, t cost.Terms, err error) {
+	member, _, _, err = p.routeWeighted(w, ws, hs)
+	if err != nil || member < 0 {
+		return -1, cost.Terms{}, err
+	}
+	t, ok, err := p.compiled[member].CoveredTerms(ws, hs)
+	if err != nil {
+		return -1, cost.Terms{}, err
+	}
+	if !ok { // unreachable: routeWeighted just observed coverage
+		return -1, cost.Terms{}, fmt.Errorf("portfolio: member %d lost coverage between probe and answer", member)
+	}
+	return member, t, nil
+}
+
 // Instantiate answers a placement request through the best covering
 // member, falling back to member 0's backup when no member covers the
 // dimensions.
@@ -194,22 +293,48 @@ func (p *Portfolio) Instantiate(ws, hs []int) (Result, error) {
 // left unspecified.
 func (p *Portfolio) InstantiateInto(res *core.Result, ws, hs []int) (member int, err error) {
 	member, _, _, err = p.route(ws, hs)
+	return p.answer(res, member, err, ws, hs)
+}
+
+// InstantiateWeighted is Instantiate routed under the weight vector w
+// (see RouteWeighted); the zero vector is exactly Instantiate.
+func (p *Portfolio) InstantiateWeighted(w cost.Weights, ws, hs []int) (Result, error) {
+	var res Result
+	m, err := p.InstantiateWeightedInto(&res.Result, w, ws, hs)
 	if err != nil {
-		return -1, err
+		return Result{}, err
+	}
+	res.Member = m
+	return res, nil
+}
+
+// InstantiateWeightedInto is InstantiateInto routed under the weight
+// vector w — the weighted serving hot path, with the same zero-allocation
+// contract for covered queries (pinned by the portfolio_route_weighted
+// micro-benchmark).
+func (p *Portfolio) InstantiateWeightedInto(res *core.Result, w cost.Weights, ws, hs []int) (member int, err error) {
+	member, _, _, err = p.routeWeighted(w, ws, hs)
+	return p.answer(res, member, err, ws, hs)
+}
+
+// answer materializes a routing decision into res: the winning member's
+// covered placement, or member 0's backup when no member covers —
+// mirroring single-structure semantics (ErrUncovered when no backup is
+// installed).
+func (p *Portfolio) answer(res *core.Result, member int, routeErr error, ws, hs []int) (int, error) {
+	if routeErr != nil {
+		return -1, routeErr
 	}
 	if member >= 0 {
 		ok, err := p.compiled[member].InstantiateCoveredInto(res, ws, hs)
 		if err != nil {
 			return -1, err
 		}
-		if !ok { // unreachable: route just observed coverage
+		if !ok { // unreachable: routing just observed coverage
 			return -1, fmt.Errorf("portfolio: member %d lost coverage between probe and answer", member)
 		}
 		return member, nil
 	}
-	// No member covers: member 0's backup is the portfolio's fallback,
-	// mirroring single-structure semantics (ErrUncovered when no backup is
-	// installed).
 	if err := p.compiled[0].InstantiateInto(res, ws, hs); err != nil {
 		return -1, err
 	}

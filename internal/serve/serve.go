@@ -338,6 +338,35 @@ type GenerateSpec struct {
 	// Portfolio is the member count K; 0 and 1 both mean a single
 	// structure (and share one cache key).
 	Portfolio int `json:"portfolio,omitempty"`
+	// Weights selects the generation objective (see cost.Weights).
+	// Omitted, all-zero, and the explicit balanced vector all mean the
+	// default objective and are folded to nil, so default-weight specs
+	// keep their historical keys and artifacts.
+	Weights *WeightsSpec `json:"weights,omitempty"`
+	// MemberWeights gives portfolio member i its generation objective
+	// (requires Portfolio > 1, length K): member i uses MemberWeights[i]
+	// when non-zero, else Weights. Unlike the facade, a plain portfolio
+	// spec gets NO implicit weight ladder — an unweighted spec must keep
+	// producing the exact members its key always named — so weight
+	// diversity over HTTP is always explicit.
+	MemberWeights []WeightsSpec `json:"member_weights,omitempty"`
+}
+
+// WeightsSpec is the JSON form of an objective weight vector: omitted
+// components weigh zero, and the all-zero vector means the default
+// balanced objective.
+type WeightsSpec struct {
+	Wire   float64 `json:"wire,omitempty"`
+	Area   float64 `json:"area,omitempty"`
+	Aspect float64 `json:"aspect,omitempty"`
+}
+
+// weights converts to the facade vector (nil = the zero vector).
+func (w *WeightsSpec) weights() mps.Weights {
+	if w == nil {
+		return mps.Weights{}
+	}
+	return mps.Weights{Wire: w.Wire, Area: w.Area, Aspect: w.Aspect}
 }
 
 // validateNames is the one place the spec's enumerated string fields are
@@ -367,6 +396,14 @@ func (g *GenerateSpec) validateNames() error {
 	if !slices.Contains(registered, g.Backend) {
 		return fmt.Errorf("unknown backend %q (registered: %s)",
 			g.Backend, strings.Join(registered, ", "))
+	}
+	if err := g.Weights.weights().Validate(); err != nil {
+		return fmt.Errorf("weights: %w", err)
+	}
+	for i := range g.MemberWeights {
+		if err := g.MemberWeights[i].weights().Validate(); err != nil {
+			return fmt.Errorf("member_weights[%d]: %w", i, err)
+		}
 	}
 	return nil
 }
@@ -401,37 +438,132 @@ func (g *GenerateSpec) normalize() error {
 	if g.Portfolio == 0 {
 		g.Portfolio = 1
 	}
+	if len(g.MemberWeights) != 0 {
+		if g.Portfolio <= 1 {
+			return fmt.Errorf("member_weights given for a single-structure spec")
+		}
+		if len(g.MemberWeights) != g.Portfolio {
+			return fmt.Errorf("%d member_weights for a %d-member portfolio",
+				len(g.MemberWeights), g.Portfolio)
+		}
+	}
+	g.canonWeights()
 	return nil
+}
+
+// canonWeights folds the weights fields to canonical form so provably
+// equivalent weightings share one cache key: a spec-level vector meaning
+// the default objective drops to nil; a member entry meaning the same
+// objective an omitted entry would resolve to drops to the zero entry;
+// and an all-zero member list drops entirely. Every fold preserves
+// memberWeight's resolution, so folding never changes what generates —
+// only which of several equivalent spellings names it.
+func (g *GenerateSpec) canonWeights() {
+	if g.Weights != nil && g.Weights.weights().IsDefault() {
+		g.Weights = nil
+	}
+	if len(g.MemberWeights) == 0 {
+		g.MemberWeights = nil
+		return
+	}
+	allZero := true
+	for i := range g.MemberWeights {
+		// With no spec-level vector, an omitted member entry resolves to
+		// the default objective — so an entry naming the default
+		// explicitly folds to omitted. With a spec-level vector the two
+		// spellings differ (omitted inherits g.Weights) and must not fold.
+		if g.Weights == nil && g.MemberWeights[i].weights().IsDefault() {
+			g.MemberWeights[i] = WeightsSpec{}
+		}
+		if (g.MemberWeights[i] != WeightsSpec{}) {
+			allZero = false
+		}
+	}
+	if allZero {
+		g.MemberWeights = nil
+	}
+}
+
+// memberWeight resolves member i's generation objective: its
+// MemberWeights entry when non-zero, else the spec-level vector (zero
+// when neither is given — the default objective).
+func (g GenerateSpec) memberWeight(i int) mps.Weights {
+	if i < len(g.MemberWeights) {
+		if w := g.MemberWeights[i].weights(); !w.IsZero() {
+			return w
+		}
+	}
+	return g.Weights.weights()
+}
+
+// resolvedMemberWeights is the per-member generation weight record a
+// portfolio assembled from this spec carries (nil when the spec names no
+// weights at all — the historical weightless portfolio).
+func (g GenerateSpec) resolvedMemberWeights() []mps.Weights {
+	if g.Weights == nil && len(g.MemberWeights) == 0 {
+		return nil
+	}
+	ws := make([]mps.Weights, g.Portfolio)
+	for i := range ws {
+		ws[i] = g.memberWeight(i)
+	}
+	return ws
 }
 
 // key derives the cache key from the fields that affect the generated
 // structure. Effort is deliberately absent: normalize resolved it into
 // concrete Iterations/BDIOSteps, so two specs differing only in how they
 // named the same budgets share one entry. The portfolio suffix appears
-// only for K > 1, and the backend tag only for non-default backends, so
-// single-structure anneal keys are byte-identical to what pre-portfolio
-// and pre-backend manifests and job files recorded — every existing
-// cache entry, store artifact, and cluster assignment stays valid.
+// only for K > 1, the backend tag only for non-default backends, and the
+// weight tags only for weightings canonWeights could not fold away, so
+// single-structure anneal keys — and every weightless spec's key — are
+// byte-identical to what pre-portfolio, pre-backend, and pre-weights
+// manifests and job files recorded: every existing cache entry, store
+// artifact, and cluster assignment stays valid.
 func (g GenerateSpec) key() string {
 	base := fmt.Sprintf("%s|seed=%d|it=%d|bdio=%d|chains=%d|maxp=%d|backup=%s",
 		g.Circuit, g.Seed, g.Iterations, g.BDIOSteps, g.Chains, g.MaxPlacements, g.Backup)
 	if g.Backend != "" && g.Backend != mps.DefaultBackend {
 		base = fmt.Sprintf("%s|backend=%s", base, g.Backend)
 	}
+	if g.Weights != nil {
+		base = fmt.Sprintf("%s|w=%s", base, g.Weights.weights().Key())
+	}
 	if g.Portfolio > 1 {
-		return fmt.Sprintf("%s|k=%d", base, g.Portfolio)
+		base = fmt.Sprintf("%s|k=%d", base, g.Portfolio)
+		if len(g.MemberWeights) != 0 {
+			keys := make([]string, len(g.MemberWeights))
+			for i := range g.MemberWeights {
+				// Zero entries (inherit the spec-level vector) stay empty so
+				// the suffix round-trips the canonical spec exactly.
+				if w := g.MemberWeights[i].weights(); !w.IsZero() {
+					keys[i] = w.Key()
+				}
+			}
+			base = fmt.Sprintf("%s|mw=%s", base, strings.Join(keys, ";"))
+		}
 	}
 	return base
 }
 
 // memberSpec derives portfolio member i's single-structure spec: the
-// shared member-seed rule plus Portfolio folded to 1, every other field
+// shared member-seed rule, Portfolio folded to 1, and the member's
+// resolved weight vector promoted to the spec-level Weights field (a
+// single-structure spec has no member list), every other field
 // unchanged. Members therefore share cache keys, store files, and
-// scheduler jobs with identical single-structure specs.
+// scheduler jobs with identical single-structure specs — including
+// weighted ones: a portfolio member generated under the wire-heavy rung
+// deduplicates against a standalone wire-heavy request at the same
+// derived seed.
 func (g GenerateSpec) memberSpec(i int) GenerateSpec {
 	m := g
 	m.Seed = mps.PortfolioMemberSeed(g.Seed, i)
 	m.Portfolio = 1
+	m.MemberWeights = nil
+	m.Weights = nil
+	if w := g.memberWeight(i); !w.IsZero() && !w.IsDefault() {
+		m.Weights = &WeightsSpec{Wire: w.Wire, Area: w.Area, Aspect: w.Aspect}
+	}
 	return m
 }
 
@@ -690,7 +822,10 @@ func (s *Server) runGeneration(ctx context.Context, spec GenerateSpec, report fu
 		}
 	}
 	s.genRuns.Add(1)
-	res, err := mps.Run(ctx, mps.Request{Circuit: circuit, Options: opts, Backend: spec.Backend})
+	res, err := mps.Run(ctx, mps.Request{
+		Circuit: circuit, Options: opts, Backend: spec.Backend,
+		Weights: spec.Weights.weights(),
+	})
 	st = res.Structure
 	if len(res.Stats) > 0 {
 		stats = res.Stats[0]
@@ -753,7 +888,7 @@ func (s *Server) startPortfolioWork(tr *obs.Trace, parent obs.SpanID, e *entry) 
 			s.publishPortfolio(e, nil, 0, memberErr)
 			return
 		}
-		p, err := mps.NewPortfolio(structures)
+		p, err := mps.NewPortfolioWeighted(structures, e.spec.resolvedMemberWeights())
 		if err != nil {
 			s.publishPortfolio(e, nil, 0, err)
 			return
@@ -855,7 +990,7 @@ func (s *Server) loadPortfolioFromStore(spec GenerateSpec) (*mps.Portfolio, mps.
 		}
 		members[i] = st
 	}
-	p, err := mps.NewPortfolio(members)
+	p, err := mps.NewPortfolioWeighted(members, spec.resolvedMemberWeights())
 	if err != nil {
 		s.loadErrs.Add(1)
 		s.logf("store: assembling portfolio %s: %v (regenerating)", spec.key(), err)
@@ -878,14 +1013,24 @@ func (s *Server) persistPortfolio(spec GenerateSpec, p *mps.Portfolio, members [
 			s.persist(mspec, m, m.Coverage())
 		}
 	}
+	var memberWeights []string
+	if wts := spec.resolvedMemberWeights(); wts != nil {
+		memberWeights = make([]string, len(wts))
+		for i, w := range wts {
+			if !w.IsZero() {
+				memberWeights[i] = w.Key()
+			}
+		}
+	}
 	_, err := s.cfg.Store.RecordPortfolio(store.PortfolioMeta{
-		Key:        spec.key(),
-		Circuit:    spec.Circuit,
-		Seed:       spec.Seed,
-		Options:    string(mustSpecJSON(spec)),
-		Members:    memberKeys,
-		Placements: p.NumPlacements(),
-		Coverage:   coverage,
+		Key:           spec.key(),
+		Circuit:       spec.Circuit,
+		Seed:          spec.Seed,
+		Options:       string(mustSpecJSON(spec)),
+		Members:       memberKeys,
+		MemberWeights: memberWeights,
+		Placements:    p.NumPlacements(),
+		Coverage:      coverage,
 	})
 	if err != nil {
 		s.persistErrs.Add(1)
@@ -1644,14 +1789,44 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // instantiateRequest is a batched query: address a structure by cache key
 // (from POST /v1/structures) or inline spec, plus the dimension queries.
 type instantiateRequest struct {
-	Key     string        `json:"key,omitempty"`
-	Spec    *GenerateSpec `json:"spec,omitempty"`
-	Queries []dimQuery    `json:"queries"`
+	Key  string        `json:"key,omitempty"`
+	Spec *GenerateSpec `json:"spec,omitempty"`
+	// Weights optionally routes every query in the batch by weighted
+	// per-objective cost over the covering portfolio members (see
+	// mps.DimQuery.Weights); a query's own weights override it. Omitted
+	// means the historical smallest-area rule. Query weights never change
+	// which structures exist — only which member answers — so they are
+	// deliberately absent from the cache key.
+	Weights *WeightsSpec `json:"weights,omitempty"`
+	Queries []dimQuery   `json:"queries"`
 }
 
 type dimQuery struct {
 	Ws []int `json:"ws"`
 	Hs []int `json:"hs"`
+	// Weights optionally routes this one query by weighted cost,
+	// overriding the request-level vector.
+	Weights *WeightsSpec `json:"weights,omitempty"`
+}
+
+// queryWeights resolves the batch's effective per-query routing weights,
+// rejecting invalid vectors before any instantiation work.
+func (req instantiateRequest) queryWeights() ([]mps.Weights, error) {
+	if err := req.Weights.weights().Validate(); err != nil {
+		return nil, fmt.Errorf("weights: %w", err)
+	}
+	ws := make([]mps.Weights, len(req.Queries))
+	for i, q := range req.Queries {
+		if err := q.Weights.weights().Validate(); err != nil {
+			return nil, fmt.Errorf("queries[%d].weights: %w", i, err)
+		}
+		if w := q.Weights.weights(); !w.IsZero() {
+			ws[i] = w
+		} else {
+			ws[i] = req.Weights.weights()
+		}
+	}
+	return ws, nil
 }
 
 // queryResult is one query's answer. Error is set instead of anchors when
@@ -1690,6 +1865,11 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 	if len(req.Queries) > s.cfg.MaxBatch {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("batch of %d exceeds max %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	qw, err := req.queryWeights()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
@@ -1743,7 +1923,7 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 
 	queries := make([]mps.DimQuery, len(req.Queries))
 	for i, q := range req.Queries {
-		queries[i] = mps.DimQuery{Ws: q.Ws, Hs: q.Hs}
+		queries[i] = mps.DimQuery{Ws: q.Ws, Hs: q.Hs, Weights: qw[i]}
 	}
 	// The batch slot wraps only the CPU fan-out — holding it across decode
 	// or a cold generation would let a handful of slow requests starve

@@ -89,6 +89,13 @@ type PortfolioMeta struct {
 	// Members lists the member structures' entry keys in routing order
 	// (member 0 first — the order is part of the portfolio's semantics).
 	Members []string `json:"members"`
+	// MemberWeights records each member's generation weight vector as its
+	// canonical key string (cost.Weights.Key), "" for members generated
+	// under the default objective. Empty for weightless portfolios, else
+	// length len(Members) — persisted so a warm start restores the same
+	// weight metadata (and thus the same routing-relevant record) the
+	// generating server published.
+	MemberWeights []string `json:"member_weights,omitempty"`
 	// Placements and Coverage snapshot the portfolio at record time:
 	// summed stored placements and the merged (union) covered fraction.
 	Placements int     `json:"placements"`

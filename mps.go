@@ -186,7 +186,7 @@ func Generate(c *Circuit, opts Options) (*Structure, Stats, error) {
 // Both Generate and GenerateContext run the default "anneal" backend; to
 // select a different generation backend, use Run with a Request naming it.
 func GenerateContext(ctx context.Context, c *Circuit, opts Options) (*Structure, Stats, error) {
-	return generateBackend(ctx, c, opts, DefaultBackend)
+	return generateBackend(ctx, c, opts, DefaultBackend, Weights{})
 }
 
 func newBackup(c *Circuit, kind BackupKind) core.Backup {

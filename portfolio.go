@@ -48,9 +48,11 @@ func PortfolioMemberSeed(seed int64, i int) int64 { return portfolio.MemberSeed(
 // index i.
 //
 // Deprecated: use Run with a Request{Circuit: c, Options: opts, K: k} —
-// it adds backend selection (including per-member mixing) behind the
-// same generation pipeline. This wrapper remains for compatibility and
-// behaves identically.
+// it adds backend selection (including per-member mixing) and
+// weight-diverse members behind the same generation pipeline. This
+// wrapper remains for compatibility and behaves identically, which
+// includes keeping the historical seed-only member diversity (it opts
+// out of Run's default weight ladder).
 func GeneratePortfolio(c *Circuit, opts Options, k int) (*Portfolio, []Stats, error) {
 	return GeneratePortfolioContext(context.Background(), c, opts, k)
 }
@@ -68,7 +70,10 @@ func GeneratePortfolioContext(ctx context.Context, c *Circuit, opts Options, k i
 	if c == nil {
 		return nil, nil, fmt.Errorf("mps: run: nil circuit")
 	}
-	res, err := Run(ctx, Request{Circuit: c, Options: opts, K: k})
+	// An explicit all-zero MemberWeights suppresses Run's default weight
+	// ladder: this wrapper's historical contract is seed-only diversity,
+	// bit-identical to pre-weights output.
+	res, err := Run(ctx, Request{Circuit: c, Options: opts, K: k, MemberWeights: make([]Weights, k)})
 	if err != nil {
 		// Preserve the historical contract: no portfolio on error, but the
 		// per-member stats gathered so far are still returned.
@@ -77,13 +82,14 @@ func GeneratePortfolioContext(ctx context.Context, c *Circuit, opts Options, k i
 	return res.Portfolio, res.Stats, nil
 }
 
-// newPortfolio wraps generated/loaded members in the routing layer.
-func newPortfolio(members []*Structure, stats []Stats) (*Portfolio, []Stats, error) {
+// newPortfolio wraps generated/loaded members in the routing layer,
+// recording each member's generation weights when known (nil = none).
+func newPortfolio(members []*Structure, weights []Weights, stats []Stats) (*Portfolio, []Stats, error) {
 	inner := make([]*core.Structure, len(members))
 	for i, m := range members {
 		inner[i] = m.Structure
 	}
-	p, err := portfolio.New(inner)
+	p, err := portfolio.NewWeighted(inner, weights)
 	if err != nil {
 		return nil, stats, fmt.Errorf("mps: %w", err)
 	}
@@ -122,7 +128,7 @@ func LoadPortfolio(paths []string, c *Circuit) (*Portfolio, error) {
 		}
 		members[i] = m
 	}
-	p, _, err := newPortfolio(members, nil)
+	p, _, err := newPortfolio(members, nil, nil)
 	return p, err
 }
 
@@ -130,12 +136,21 @@ func LoadPortfolio(paths []string, c *Circuit) (*Portfolio, error) {
 // callers that generate or load members themselves, e.g. the serving
 // layer's fan-out). Member order is preserved.
 func NewPortfolio(members []*Structure) (*Portfolio, error) {
+	return NewPortfolioWeighted(members, nil)
+}
+
+// NewPortfolioWeighted is NewPortfolio additionally recording each
+// member's generation weights (empty = no record, zero entry = default
+// objective; must otherwise be length K with valid vectors). The record
+// is metadata — MemberWeights reporting and manifest persistence —
+// routing always follows the query's weights.
+func NewPortfolioWeighted(members []*Structure, weights []Weights) (*Portfolio, error) {
 	for i, m := range members {
 		if m == nil {
 			return nil, fmt.Errorf("mps: portfolio member %d is nil", i)
 		}
 	}
-	p, _, err := newPortfolio(members, nil)
+	p, _, err := newPortfolio(members, weights, nil)
 	return p, err
 }
 

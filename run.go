@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mps/internal/cost"
 	"mps/internal/gen"
 )
 
@@ -21,6 +22,28 @@ const DefaultBackend = gen.Default
 
 // Backends returns the registered generation backend names, sorted.
 func Backends() []string { return gen.Names() }
+
+// Weights re-exports the objective weight vector (see cost.Weights):
+// wire length, bounding-box area, and aspect-ratio deviation weights.
+// The zero value means "the default balanced objective" everywhere it
+// appears — generation requests, portfolio members, and queries — so
+// existing callers are untouched by the field's existence.
+type Weights = cost.Weights
+
+// The weight ladder re-exported: the member objectives a portfolio
+// spreads across when the caller asks for K members but names no
+// weights (see Request.MemberWeights).
+var (
+	BalancedWeights    = cost.BalancedWeights
+	AreaHeavyWeights   = cost.AreaHeavyWeights
+	WireHeavyWeights   = cost.WireHeavyWeights
+	AspectHeavyWeights = cost.AspectHeavyWeights
+)
+
+// WeightLadder returns the k default member objectives of a
+// weight-diverse portfolio: area-heavy, wire-heavy, aspect-heavy,
+// balanced, cycling for larger k.
+func WeightLadder(k int) []Weights { return cost.WeightLadder(k) }
 
 // Request describes one generation run for Run: which circuit, which
 // options, which backend, and how many structures.
@@ -44,6 +67,23 @@ type Request struct {
 	// be empty or length K. Mixing backends widens portfolio coverage —
 	// members explore dimension space with different search dynamics.
 	MemberBackends []string
+	// Weights selects the generation objective (zero = the default
+	// balanced cost, bit-identical to generation before weights existed).
+	// For portfolios it is the objective of every member MemberWeights
+	// does not override.
+	Weights Weights
+	// MemberWeights optionally overrides Weights per portfolio member
+	// (mirroring MemberBackends): member i uses MemberWeights[i] when
+	// non-zero, else Weights. Must be empty or length K.
+	//
+	// When K > 1 and both Weights and MemberWeights are empty, the
+	// default weight ladder (WeightLadder) replaces seed-only member
+	// diversity: members still generate from their derived member seeds,
+	// but each optimizes a different objective mix, so one portfolio
+	// serves area-, wire-, and aspect-critical queries well. Pass an
+	// explicit all-zero MemberWeights of length K to opt out and get the
+	// historical seed-only diversity.
+	MemberWeights []Weights
 }
 
 // backendFor resolves member i's backend name ("" = Request.Backend).
@@ -52,6 +92,15 @@ func (req Request) backendFor(i int) string {
 		return req.MemberBackends[i]
 	}
 	return req.Backend
+}
+
+// weightFor resolves member i's generation weights (zero entry =
+// Request.Weights).
+func (req Request) weightFor(i int) Weights {
+	if i < len(req.MemberWeights) && !req.MemberWeights[i].IsZero() {
+		return req.MemberWeights[i]
+	}
+	return req.Weights
 }
 
 // RunResult is Run's output: exactly one of Structure (K == 0) or
@@ -78,11 +127,22 @@ func Run(ctx context.Context, req Request) (RunResult, error) {
 	if _, err := gen.ByName(req.Backend); err != nil {
 		return RunResult{}, fmt.Errorf("mps: %w", err)
 	}
+	if err := req.Weights.Validate(); err != nil {
+		return RunResult{}, fmt.Errorf("mps: run: %w", err)
+	}
+	for i, w := range req.MemberWeights {
+		if err := w.Validate(); err != nil {
+			return RunResult{}, fmt.Errorf("mps: portfolio member %d: %w", i, err)
+		}
+	}
 	if req.K == 0 {
 		if len(req.MemberBackends) != 0 {
 			return RunResult{}, fmt.Errorf("mps: run: member backends given for a single-structure request")
 		}
-		s, stats, err := generateBackend(ctx, req.Circuit, req.Options, req.Backend)
+		if len(req.MemberWeights) != 0 {
+			return RunResult{}, fmt.Errorf("mps: run: member weights given for a single-structure request")
+		}
+		s, stats, err := generateBackend(ctx, req.Circuit, req.Options, req.Backend, req.Weights)
 		if err != nil {
 			return RunResult{Stats: []Stats{stats}}, err
 		}
@@ -95,10 +155,21 @@ func Run(ctx context.Context, req Request) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("mps: run: %d member backends for a %d-member portfolio",
 			len(req.MemberBackends), req.K)
 	}
+	if len(req.MemberWeights) != 0 && len(req.MemberWeights) != req.K {
+		return RunResult{}, fmt.Errorf("mps: run: %d member weights for a %d-member portfolio",
+			len(req.MemberWeights), req.K)
+	}
 	for i := 0; i < req.K; i++ {
 		if _, err := gen.ByName(req.backendFor(i)); err != nil {
 			return RunResult{}, fmt.Errorf("mps: portfolio member %d: %w", i, err)
 		}
+	}
+	// Weight-diverse by default: K > 1 with no weights named gets the
+	// ladder. Seed-only diversity remains one explicit all-zero
+	// MemberWeights away (the deprecated GeneratePortfolio wrappers pass
+	// exactly that, preserving their historical output bit for bit).
+	if req.K > 1 && req.Weights.IsZero() && len(req.MemberWeights) == 0 {
+		req.MemberWeights = WeightLadder(req.K)
 	}
 
 	members := make([]*Structure, req.K)
@@ -111,7 +182,7 @@ func Run(ctx context.Context, req Request) (RunResult, error) {
 			defer wg.Done()
 			mopts := req.Options
 			mopts.Seed = PortfolioMemberSeed(req.Options.Seed, i)
-			members[i], stats[i], errs[i] = generateBackend(ctx, req.Circuit, mopts, req.backendFor(i))
+			members[i], stats[i], errs[i] = generateBackend(ctx, req.Circuit, mopts, req.backendFor(i), req.weightFor(i))
 		}(i)
 	}
 	wg.Wait()
@@ -120,7 +191,11 @@ func Run(ctx context.Context, req Request) (RunResult, error) {
 			return RunResult{Stats: stats}, fmt.Errorf("mps: generating portfolio member %d: %w", i, err)
 		}
 	}
-	p, stats, err := newPortfolio(members, stats)
+	weights := make([]Weights, req.K)
+	for i := range weights {
+		weights[i] = req.weightFor(i)
+	}
+	p, stats, err := newPortfolio(members, weights, stats)
 	if err != nil {
 		return RunResult{Stats: stats}, err
 	}
@@ -133,7 +208,7 @@ func Run(ctx context.Context, req Request) (RunResult, error) {
 // gen.Generator contract); the backup is facade policy because it is
 // derived from the circuit and the Options.Backup choice, not from how
 // generation searched.
-func generateBackend(ctx context.Context, c *Circuit, opts Options, backend string) (*Structure, Stats, error) {
+func generateBackend(ctx context.Context, c *Circuit, opts Options, backend string, weights Weights) (*Structure, Stats, error) {
 	g, err := gen.ByName(backend)
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("mps: %w", err)
@@ -148,6 +223,7 @@ func generateBackend(ctx context.Context, c *Circuit, opts Options, backend stri
 		MaxPlacements:  opts.MaxPlacements,
 		TargetCoverage: opts.TargetCoverage,
 		Evaluator:      opts.Evaluator,
+		Weights:        weights,
 		Progress:       opts.Progress,
 	})
 	if err != nil {

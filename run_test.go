@@ -90,7 +90,9 @@ func TestRunUnknownBackend(t *testing.T) {
 // TestRunPortfolioMixedBackends: a 2-member portfolio with one anneal
 // and one GA member routes queries across both, and each member is
 // bit-identical to the same backend run standalone from the derived
-// member seed — the dedup rule the serving layer relies on.
+// member seed and the same ladder weights — the dedup rule the serving
+// layer relies on. (A weightless K>1 request gets the default weight
+// ladder, so the standalone runs name their ladder rung explicitly.)
 func TestRunPortfolioMixedBackends(t *testing.T) {
 	c, err := Benchmark("circ01")
 	if err != nil {
@@ -116,7 +118,9 @@ func TestRunPortfolioMixedBackends(t *testing.T) {
 	for i, backend := range []string{"anneal", "ga"} {
 		mopts := opts
 		mopts.Seed = PortfolioMemberSeed(opts.Seed, i)
-		solo, err := Run(context.Background(), Request{Circuit: c, Options: mopts, Backend: backend})
+		solo, err := Run(context.Background(), Request{
+			Circuit: c, Options: mopts, Backend: backend, Weights: WeightLadder(2)[i],
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,5 +173,99 @@ func TestRunRejectsBadShapes(t *testing.T) {
 		Circuit: c, Options: tinyOpts(1), MemberBackends: []string{"ga"},
 	}); err == nil {
 		t.Error("MemberBackends on a single-structure request accepted")
+	}
+	if _, err := Run(context.Background(), Request{
+		Circuit: c, Options: tinyOpts(1), MemberWeights: []Weights{{Wire: 1}},
+	}); err == nil {
+		t.Error("MemberWeights on a single-structure request accepted")
+	}
+	if _, err := Run(context.Background(), Request{
+		Circuit: c, Options: tinyOpts(1), K: 3, MemberWeights: []Weights{{Wire: 1}},
+	}); err == nil {
+		t.Error("mismatched MemberWeights length accepted")
+	}
+	if _, err := Run(context.Background(), Request{
+		Circuit: c, Options: tinyOpts(1), Weights: Weights{Wire: -1},
+	}); err == nil {
+		t.Error("negative request weights accepted")
+	}
+	if _, err := Run(context.Background(), Request{
+		Circuit: c, Options: tinyOpts(1), K: 2, MemberWeights: []Weights{{Wire: 1}, {Area: -2}},
+	}); err == nil {
+		t.Error("negative member weights accepted")
+	}
+}
+
+// TestRunWeightLadderDefault pins the weight-diversity default: a
+// weightless K>1 request records the ladder on its members, an explicit
+// all-zero MemberWeights opts out, and each ladder member is
+// bit-identical to a standalone run naming that rung — so the ladder
+// changes which objective members optimize, never how a given
+// (seed, weights) generation behaves.
+func TestRunWeightLadderDefault(t *testing.T) {
+	c, err := Benchmark("circ01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Request{Circuit: c, Options: tinyOpts(9), K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder := WeightLadder(2)
+	got := res.Portfolio.MemberWeights()
+	for i := range ladder {
+		if got[i] != ladder[i] {
+			t.Errorf("member %d weights %+v, want ladder rung %+v", i, got[i], ladder[i])
+		}
+	}
+
+	optOut, err := Run(context.Background(), Request{
+		Circuit: c, Options: tinyOpts(9), K: 2, MemberWeights: make([]Weights, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range optOut.Portfolio.MemberWeights() {
+		if !w.IsZero() {
+			t.Errorf("opted-out member %d weights %+v, want zero", i, w)
+		}
+	}
+
+	// Ladder member 1 == standalone wire-heavy run at the derived seed.
+	mopts := tinyOpts(9)
+	mopts.Seed = PortfolioMemberSeed(9, 1)
+	solo, err := Run(context.Background(), Request{Circuit: c, Options: mopts, Weights: ladder[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := solo.Structure.SaveBinary(&a); err != nil {
+		t.Fatal(err)
+	}
+	ms := &Structure{Structure: res.Portfolio.Member(1)}
+	if err := ms.SaveBinary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("ladder member 1 differs from a standalone wire-heavy run at its derived seed")
+	}
+
+	// The opt-out portfolio is the historical seed-only artifact: its
+	// members match the deprecated wrapper's output bit for bit.
+	legacy, _, err := GeneratePortfolio(c, tinyOpts(9), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		var x, y bytes.Buffer
+		if err := (&Structure{Structure: optOut.Portfolio.Member(i)}).SaveBinary(&x); err != nil {
+			t.Fatal(err)
+		}
+		if err := (&Structure{Structure: legacy.Member(i)}).SaveBinary(&y); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(x.Bytes(), y.Bytes()) {
+			t.Errorf("opted-out member %d differs from the deprecated wrapper's member", i)
+		}
 	}
 }
